@@ -1,0 +1,135 @@
+package intrawarp
+
+import (
+	"io"
+	"testing"
+
+	"intrawarp/internal/experiments"
+	"intrawarp/internal/gpu"
+	"intrawarp/internal/trace"
+	"intrawarp/internal/workloads"
+)
+
+// One benchmark per paper table/figure: each regenerates the experiment's
+// data at reduced (quick) problem sizes, so `go test -bench=.` both times
+// the harness and re-derives every reported number. Full-size runs are
+// available via `go run ./cmd/simd-bench -all`.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	ctx := &experiments.Context{Out: io.Discard, Quick: true}
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates the SIMD-efficiency classification chart.
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig8 regenerates the Ivy Bridge micro-benchmark inference.
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkTable2 regenerates the nested-branch benefit split.
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3 prints the machine configuration.
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkFig9 regenerates the utilization breakdown.
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates the EU-cycle reduction chart.
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates the ray-tracing timing study.
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates the Rodinia timing study.
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkTable4 regenerates the benefit summary.
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkRFArea evaluates the register-file area model (§4.3).
+func BenchmarkRFArea(b *testing.B) { benchExperiment(b, "rfarea") }
+
+// BenchmarkAblationDtype measures the datatype-width ablation.
+func BenchmarkAblationDtype(b *testing.B) { benchExperiment(b, "ablation-dtype") }
+
+// BenchmarkAblationSwizzle measures the SCC scheduler comparison.
+func BenchmarkAblationSwizzle(b *testing.B) { benchExperiment(b, "ablation-swizzle") }
+
+// BenchmarkAblationIssue measures the issue-bandwidth ablation.
+func BenchmarkAblationIssue(b *testing.B) { benchExperiment(b, "ablation-issue") }
+
+// BenchmarkInterwarp runs the intra- vs inter-warp compaction comparison.
+func BenchmarkInterwarp(b *testing.B) { benchExperiment(b, "interwarp") }
+
+// BenchmarkEnergy runs the dynamic-energy proxy comparison.
+func BenchmarkEnergy(b *testing.B) { benchExperiment(b, "energy") }
+
+// BenchmarkAblationWidth runs the SIMD-width sweep.
+func BenchmarkAblationWidth(b *testing.B) { benchExperiment(b, "ablation-width") }
+
+// BenchmarkAblationFrontend runs the jump-penalty sweep.
+func BenchmarkAblationFrontend(b *testing.B) { benchExperiment(b, "ablation-frontend") }
+
+// BenchmarkStalls runs the arbitration-window attribution.
+func BenchmarkStalls(b *testing.B) { benchExperiment(b, "stalls") }
+
+// --- Core micro-benchmarks ------------------------------------------------
+
+// BenchmarkSCCSchedule measures the Fig. 6 control algorithm itself.
+func BenchmarkSCCSchedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ComputeSchedule(Mask(uint32(i)&0xFFFF)|1, 16, 4)
+	}
+}
+
+// BenchmarkPolicyCycles measures the per-instruction cycle-cost model.
+func BenchmarkPolicyCycles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Cycles(SCC, Mask(uint32(i)&0xFFFF), 16, 4)
+	}
+}
+
+// BenchmarkSimulatorThroughput measures timed-simulation speed on a
+// divergent kernel (reported as ns/op for one full particlefilter run).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, err := workloads.ByName("particlefilter")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		g := gpu.New(gpu.DefaultConfig().WithPolicy(SCC))
+		if _, err := workloads.Execute(g, w, 128, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFunctionalThroughput measures functional-model speed.
+func BenchmarkFunctionalThroughput(b *testing.B) {
+	w, err := workloads.ByName("bsearch")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		g := gpu.New(gpu.DefaultConfig())
+		if _, err := workloads.Execute(g, w, 256, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceAnalyze measures trace replay speed.
+func BenchmarkTraceAnalyze(b *testing.B) {
+	p := trace.SynthByName("bulletphysics")
+	recs := p.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.Analyze(p.Name, &trace.SliceSource{Records: recs})
+	}
+}

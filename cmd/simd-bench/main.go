@@ -1,0 +1,49 @@
+// Command simd-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	simd-bench -list              list experiments
+//	simd-bench -exp fig10         run one experiment
+//	simd-bench -all               run everything
+//	simd-bench -all -quick        reduced problem sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"intrawarp/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		exp   = flag.String("exp", "", "experiment ID to run")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "reduced problem sizes")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	ctx := &experiments.Context{Out: os.Stdout, Quick: *quick}
+	var err error
+	switch {
+	case *all:
+		err = experiments.RunAll(ctx)
+	case *exp != "":
+		err = experiments.Run(*exp, ctx)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simd-bench:", err)
+		os.Exit(1)
+	}
+}

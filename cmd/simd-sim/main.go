@@ -1,0 +1,104 @@
+// Command simd-sim runs one workload on the cycle-level GPU simulator and
+// prints its statistics.
+//
+// Usage:
+//
+//	simd-sim -list
+//	simd-sim -workload bfs [-policy scc] [-n 1024] [-dc 2] [-perfect-l3]
+//	         [-functional] [-disasm]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"intrawarp/internal/compaction"
+	"intrawarp/internal/gpu"
+	"intrawarp/internal/workloads"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list available workloads and exit")
+		name       = flag.String("workload", "", "workload to run (see -list)")
+		policyStr  = flag.String("policy", "ivb", "compaction policy: baseline, ivb, bcc, scc")
+		n          = flag.Int("n", 0, "problem size (0 = workload default)")
+		dc         = flag.Int("dc", 1, "data-cluster bandwidth in lines/cycle (paper DC1=1, DC2=2)")
+		perfectL3  = flag.Bool("perfect-l3", false, "model a perfect (always-hit) L3")
+		functional = flag.Bool("functional", false, "functional-only run (no timing)")
+		compare    = flag.Bool("compare", false, "run all four policies and compare timing")
+		jsonOut    = flag.Bool("json", false, "emit the run report as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-22s %-10s %s\n", "workload", "class", "divergent")
+		for _, s := range workloads.All() {
+			fmt.Printf("%-22s %-10s %v\n", s.Name, s.Class, s.Divergent)
+		}
+		return
+	}
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "simd-sim: -workload required (use -list)")
+		os.Exit(2)
+	}
+	spec, err := workloads.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simd-sim:", err)
+		os.Exit(2)
+	}
+	policy, err := compaction.ParsePolicy(*policyStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simd-sim:", err)
+		os.Exit(2)
+	}
+
+	mkCfg := func(p compaction.Policy) gpu.Config {
+		cfg := gpu.DefaultConfig().WithPolicy(p)
+		cfg.Mem.DCLinesPerCycle = *dc
+		cfg.Mem.PerfectL3 = *perfectL3
+		return cfg
+	}
+
+	if *compare {
+		fmt.Printf("%-10s %-14s %-14s %-10s\n", "policy", "total cycles", "EU busy", "vs ivb")
+		var ref int64
+		for _, p := range compaction.Policies {
+			run, err := workloads.Execute(gpu.New(mkCfg(p)), spec, *n, true)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "simd-sim:", err)
+				os.Exit(1)
+			}
+			if p == compaction.IvyBridge {
+				ref = run.TotalCycles
+			}
+			rel := "-"
+			if ref > 0 {
+				rel = fmt.Sprintf("%+.1f%%", 100*float64(ref-run.TotalCycles)/float64(ref))
+			}
+			fmt.Printf("%-10s %-14d %-14d %-10s\n", p, run.TotalCycles, run.EUBusy, rel)
+		}
+		return
+	}
+
+	g := gpu.New(mkCfg(policy))
+	run, err := workloads.Execute(g, spec, *n, !*functional)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simd-sim:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		out, err := run.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simd-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Print(run.Summary())
+	if !*functional {
+		fmt.Printf("  L3 hit rate       %.3f\n", run.L3HitRate)
+	}
+}

@@ -1,0 +1,3 @@
+module intrawarp
+
+go 1.22

@@ -1,0 +1,397 @@
+// Package asm is a textual assembler for the simulated EU ISA. It parses
+// the exact syntax emitted by isa.Instruction.String / Program.Disassemble
+// — so any disassembly reassembles to the identical program — plus label
+// support for hand-written kernels:
+//
+//	     cmp.lt.f0(16):u32 r16, #0x8
+//	     if(16) ->Lelse          ; or an absolute instruction index
+//	     mov(16):u32 r20, #0x1
+//	Lelse:
+//	     else(16) ->Lend
+//	     mov(16):u32 r20, #0x2
+//	Lend:
+//	     endif(16)
+//	     halt(16)
+//
+// Operands: rN (stride-1 GRF), rN.M (byte offset M), rN.M<0> (scalar
+// broadcast), #0x… / #123 (raw immediate bits), #f:1.5 (float32
+// immediate). Optional "(+f0)" / "(-f1)" predicate prefix; ":dtype"
+// suffix selects the element type; "->T" a jump target (label or index).
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"intrawarp/internal/isa"
+)
+
+// Error describes an assembly failure with its line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...interface{}) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+var opByName = func() map[string]isa.Opcode {
+	m := make(map[string]isa.Opcode)
+	for op := isa.OpNop; op <= isa.OpFence; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+var sendByName = map[string]isa.SendOp{
+	"ld.gather":  isa.SendLoadGather,
+	"st.scatter": isa.SendStoreScatter,
+	"ld.block":   isa.SendLoadBlock,
+	"st.block":   isa.SendStoreBlock,
+	"ld.slm":     isa.SendLoadSLM,
+	"st.slm":     isa.SendStoreSLM,
+	"atomic.add": isa.SendAtomicAdd,
+	"atomic.min": isa.SendAtomicMin,
+}
+
+var condByName = map[string]isa.CondMod{
+	"eq": isa.CmpEQ, "ne": isa.CmpNE, "lt": isa.CmpLT,
+	"le": isa.CmpLE, "gt": isa.CmpGT, "ge": isa.CmpGE,
+}
+
+var dtypeByName = map[string]isa.DataType{
+	"f32": isa.F32, "s32": isa.S32, "u32": isa.U32,
+	"f64": isa.F64, "u64": isa.U64, "f16": isa.F16, "u16": isa.U16,
+}
+
+// line is one parsed-but-unresolved instruction.
+type pending struct {
+	in     isa.Instruction
+	target string // label or numeric jump target; "" = none
+	line   int
+}
+
+// Assemble parses a full program. Instruction indices in "->N" targets are
+// absolute; labels may be used instead and refer to the next instruction.
+func Assemble(src string) (isa.Program, error) {
+	var pend []*pending
+	labels := map[string]int{}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		n := lineNo + 1
+		text := raw
+		if i := strings.Index(text, ";"); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		// Strip a leading "NNN:" instruction-index prefix as produced by
+		// Disassemble.
+		if i := strings.Index(text, ":"); i > 0 {
+			if _, err := strconv.Atoi(strings.TrimSpace(text[:i])); err == nil {
+				text = strings.TrimSpace(text[i+1:])
+			}
+		}
+		if text == "" {
+			continue
+		}
+		// Label definition.
+		if strings.HasSuffix(text, ":") {
+			name := strings.TrimSuffix(text, ":")
+			if !validLabel(name) {
+				return nil, errf(n, "invalid label %q", name)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, errf(n, "duplicate label %q", name)
+			}
+			labels[name] = len(pend)
+			continue
+		}
+		p, err := parseInstruction(text, n)
+		if err != nil {
+			return nil, err
+		}
+		pend = append(pend, p)
+	}
+
+	prog := make(isa.Program, len(pend))
+	for i, p := range pend {
+		if p.target != "" {
+			if idx, err := strconv.Atoi(p.target); err == nil {
+				p.in.JumpTarget = int32(idx)
+			} else if idx, ok := labels[p.target]; ok {
+				p.in.JumpTarget = int32(idx)
+			} else {
+				return nil, errf(p.line, "undefined label %q", p.target)
+			}
+		}
+		prog[i] = p.in
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return prog, nil
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseInstruction parses one instruction line (no label, no comment).
+func parseInstruction(text string, line int) (*pending, error) {
+	p := &pending{line: line}
+	in := &p.in
+
+	// Optional predicate prefix "(+f0) " / "(-f1) ".
+	if strings.HasPrefix(text, "(+f") || strings.HasPrefix(text, "(-f") {
+		end := strings.Index(text, ")")
+		if end < 0 {
+			return nil, errf(line, "unterminated predicate prefix")
+		}
+		pred := text[1:end]
+		switch pred[0] {
+		case '+':
+			in.Pred = isa.PredNorm
+		case '-':
+			in.Pred = isa.PredInv
+		}
+		f, err := parseFlag(pred[1:])
+		if err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		in.Flag = f
+		text = strings.TrimSpace(text[end+1:])
+	}
+
+	// Mnemonic up to "(".
+	paren := strings.Index(text, "(")
+	if paren < 0 {
+		return nil, errf(line, "missing SIMD width")
+	}
+	mnemonic := text[:paren]
+	rest := text[paren:]
+
+	// Split mnemonic suffixes.
+	parts := strings.Split(mnemonic, ".")
+	opName := parts[0]
+	op, ok := opByName[opName]
+	if !ok {
+		return nil, errf(line, "unknown opcode %q", opName)
+	}
+	in.Op = op
+	switch {
+	case op == isa.OpCmp:
+		if len(parts) != 3 {
+			return nil, errf(line, "cmp needs .cond.flag suffixes")
+		}
+		cond, ok := condByName[parts[1]]
+		if !ok {
+			return nil, errf(line, "unknown condition %q", parts[1])
+		}
+		in.Cond = cond
+		f, err := parseFlag(parts[2])
+		if err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		in.Flag = f
+	case op == isa.OpSend:
+		send, ok := sendByName[strings.Join(parts[1:], ".")]
+		if !ok {
+			return nil, errf(line, "unknown send operation %q", strings.Join(parts[1:], "."))
+		}
+		in.Send = send
+	case op == isa.OpSel:
+		if len(parts) == 2 {
+			f, err := parseFlag(parts[1])
+			if err != nil {
+				return nil, errf(line, "%v", err)
+			}
+			in.Flag = f
+		} else if len(parts) > 2 {
+			return nil, errf(line, "sel takes a single .fN suffix")
+		}
+	case len(parts) > 1:
+		return nil, errf(line, "unexpected mnemonic suffix on %q", opName)
+	}
+
+	// "(W)" width.
+	end := strings.Index(rest, ")")
+	if end < 0 {
+		return nil, errf(line, "unterminated width")
+	}
+	w, err := strconv.Atoi(rest[1:end])
+	if err != nil {
+		return nil, errf(line, "bad width %q", rest[1:end])
+	}
+	switch w {
+	case 1, 4, 8, 16, 32:
+		in.Width = isa.Width(w)
+	default:
+		return nil, errf(line, "unsupported width %d", w)
+	}
+	rest = strings.TrimSpace(rest[end+1:])
+
+	// Optional ":dtype".
+	if strings.HasPrefix(rest, ":") {
+		stop := len(rest)
+		if sp := strings.IndexAny(rest, " \t"); sp >= 0 {
+			stop = sp
+		}
+		dt, ok := dtypeByName[rest[1:stop]]
+		if !ok {
+			return nil, errf(line, "unknown datatype %q", rest[1:stop])
+		}
+		in.DType = dt
+		rest = strings.TrimSpace(rest[stop:])
+	}
+
+	// Optional "->target" (may follow operands, so peel it off the end).
+	if i := strings.Index(rest, "->"); i >= 0 {
+		p.target = strings.TrimSpace(rest[i+2:])
+		if p.target == "" {
+			return nil, errf(line, "empty jump target")
+		}
+		rest = strings.TrimSpace(rest[:i])
+	}
+
+	// Operands.
+	var ops []isa.Operand
+	if rest != "" {
+		for _, tok := range strings.Split(rest, ",") {
+			o, err := parseOperand(strings.TrimSpace(tok))
+			if err != nil {
+				return nil, errf(line, "%v", err)
+			}
+			ops = append(ops, o)
+		}
+	}
+	if err := assignOperands(in, ops); err != nil {
+		return nil, errf(line, "%v", err)
+	}
+	return p, nil
+}
+
+func parseFlag(s string) (isa.FlagReg, error) {
+	switch s {
+	case "f0":
+		return isa.F0, nil
+	case "f1":
+		return isa.F1, nil
+	}
+	return 0, fmt.Errorf("unknown flag register %q", s)
+}
+
+func parseOperand(tok string) (isa.Operand, error) {
+	switch {
+	case tok == "null":
+		return isa.Null, nil
+	case strings.HasPrefix(tok, "#f:"):
+		v, err := strconv.ParseFloat(tok[3:], 32)
+		if err != nil {
+			return isa.Null, fmt.Errorf("bad float immediate %q", tok)
+		}
+		return isa.ImmF32(float32(v)), nil
+	case strings.HasPrefix(tok, "#"):
+		v, err := strconv.ParseUint(strings.TrimPrefix(tok[1:], "0x"), base(tok[1:]), 64)
+		if err != nil {
+			return isa.Null, fmt.Errorf("bad immediate %q", tok)
+		}
+		return isa.Operand{Kind: isa.RegImm, Imm: v}, nil
+	case strings.HasPrefix(tok, "r"):
+		body := tok[1:]
+		scalar := false
+		if strings.HasSuffix(body, "<0>") {
+			scalar = true
+			body = strings.TrimSuffix(body, "<0>")
+		}
+		reg, sub := body, "0"
+		if i := strings.Index(body, "."); i >= 0 {
+			reg, sub = body[:i], body[i+1:]
+		}
+		rn, err := strconv.Atoi(reg)
+		if err != nil || rn < 0 || rn > 127 {
+			return isa.Null, fmt.Errorf("bad register %q", tok)
+		}
+		sn, err := strconv.Atoi(sub)
+		if err != nil || sn < 0 || sn > 31 {
+			return isa.Null, fmt.Errorf("bad subregister in %q", tok)
+		}
+		if scalar {
+			return isa.Scalar(rn, sn), nil
+		}
+		return isa.GRFSub(rn, sn), nil
+	}
+	return isa.Null, fmt.Errorf("unrecognized operand %q", tok)
+}
+
+func base(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}
+
+// hasDst reports whether the opcode writes a general register.
+func hasDst(in *isa.Instruction) bool {
+	switch {
+	case isa.IsControl(in.Op):
+		return false
+	case in.Op == isa.OpCmp, in.Op == isa.OpNop, in.Op == isa.OpBarrier, in.Op == isa.OpFence:
+		return false
+	case in.Op == isa.OpSend:
+		return in.Send.IsLoad()
+	}
+	return true
+}
+
+// assignOperands distributes the parsed operand list into dst/src slots
+// using the opcode's arity.
+func assignOperands(in *isa.Instruction, ops []isa.Operand) error {
+	idx := 0
+	if hasDst(in) {
+		if idx >= len(ops) {
+			return fmt.Errorf("%s needs a destination", in.Op)
+		}
+		in.Dst = ops[idx]
+		idx++
+	}
+	srcs := []*isa.Operand{&in.Src0, &in.Src1, &in.Src2}
+	for _, s := range srcs {
+		if idx < len(ops) {
+			*s = ops[idx]
+			idx++
+		}
+	}
+	if idx != len(ops) {
+		return fmt.Errorf("%s: too many operands (%d)", in.Op, len(ops))
+	}
+	// Arity check against the decoded form.
+	want := in.NumSources()
+	got := 0
+	for _, s := range srcs {
+		if s.Kind != isa.RegNull {
+			got++
+		}
+	}
+	if got != want {
+		return fmt.Errorf("%s expects %d source operand(s), got %d", in.Op, want, got)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+// Package compaction implements the paper's contribution: intra-warp
+// execution-cycle compression for divergent SIMD instructions.
+//
+// A SIMD instruction of width W with element group size G (lanes retired
+// per ALU cycle; 4 for 32-bit types) occupies the execution pipe for
+// ceil(W/G) cycles in the baseline machine, regardless of how many lanes
+// the execution mask enables. Four policies model progressively more
+// aggressive cycle compression:
+//
+//   - Baseline: every group cycle issues, enabled or not.
+//   - IvyBridge: the pre-existing hardware optimization inferred by
+//     micro-benchmarking (paper §5.2): a SIMD16 instruction whose upper or
+//     lower 8 lanes are all disabled executes as SIMD8.
+//   - BCC (Basic Cycle Compression): any aligned group whose lanes are all
+//     disabled is skipped, together with its operand fetch and writeback.
+//   - SCC (Swizzled Cycle Compression): enabled lanes are permuted within
+//     their ALU lane position across groups so the instruction executes in
+//     the optimal ceil(popcount/G) cycles. The swizzle-setting control
+//     algorithm is the paper's Figure 6, implemented in scc.go.
+//
+// All policies charge a minimum of one cycle: an instruction with an empty
+// execution mask still occupies an issue slot.
+package compaction
+
+import (
+	"fmt"
+
+	"intrawarp/internal/mask"
+)
+
+// Policy selects a cycle-compression scheme.
+type Policy uint8
+
+// Cycle-compression policies, weakest to strongest.
+const (
+	Baseline Policy = iota
+	IvyBridge
+	BCC
+	SCC
+	numPolicies
+)
+
+// NumPolicies is the number of defined policies.
+const NumPolicies = int(numPolicies)
+
+// Policies lists all policies, weakest to strongest.
+var Policies = [NumPolicies]Policy{Baseline, IvyBridge, BCC, SCC}
+
+func (p Policy) String() string {
+	switch p {
+	case Baseline:
+		return "baseline"
+	case IvyBridge:
+		return "ivb"
+	case BCC:
+		return "bcc"
+	case SCC:
+		return "scc"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// ParsePolicy converts a policy name as printed by String.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "baseline", "base":
+		return Baseline, nil
+	case "ivb", "ivybridge":
+		return IvyBridge, nil
+	case "bcc":
+		return BCC, nil
+	case "scc":
+		return SCC, nil
+	}
+	return Baseline, fmt.Errorf("compaction: unknown policy %q", s)
+}
+
+// ivbWidth is the SIMD width the inferred Ivy Bridge half-off optimization
+// applies to (the paper observed it for SIMD16 only).
+const ivbWidth = 16
+
+// Cycles returns the number of execution-pipe cycles an instruction of the
+// given width and element group size occupies under the policy, for
+// execution mask m. The result is always at least 1.
+func (p Policy) Cycles(m mask.Mask, width, group int) int {
+	m = m.Trunc(width)
+	full := mask.QuadCount(width, group)
+	if full < 1 {
+		full = 1
+	}
+	var c int
+	switch p {
+	case Baseline:
+		c = full
+	case IvyBridge:
+		c = full
+		if width == ivbWidth && full >= 2 && (m.UpperHalfOff(width) || m.LowerHalfOff(width)) {
+			c = full / 2
+		}
+	case BCC:
+		c = m.ActiveQuads(width, group)
+	case SCC:
+		c = m.OptimalCycles(width, group)
+	default:
+		c = full
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// CostAll returns the execution cycles of all policies at once, indexed by
+// Policy. Used by the simulator's what-if accounting so a single functional
+// run yields EU-cycle totals for every policy.
+func CostAll(m mask.Mask, width, group int) [NumPolicies]int {
+	var out [NumPolicies]int
+	for _, p := range Policies {
+		out[p] = p.Cycles(m, width, group)
+	}
+	return out
+}
+
+// GroupFetches returns which aligned groups require an operand fetch and
+// writeback under the policy. Baseline and IvyBridge fetch every group they
+// execute; BCC fetches only non-empty groups (the half-register datapath of
+// paper Fig. 5b); SCC performs a single full-width fetch into the operand
+// latch, so it reports every group as fetched (no fetch-bandwidth savings,
+// paper §4.2).
+func (p Policy) GroupFetches(m mask.Mask, width, group int) []bool {
+	n := mask.QuadCount(width, group)
+	out := make([]bool, n)
+	switch p {
+	case BCC:
+		for q := 0; q < n; q++ {
+			out[q] = m.Quad(q, group) != 0
+		}
+	case IvyBridge:
+		if width == ivbWidth && n >= 2 && m.UpperHalfOff(width) {
+			for q := 0; q < n/2; q++ {
+				out[q] = true
+			}
+		} else if width == ivbWidth && n >= 2 && m.LowerHalfOff(width) {
+			for q := n / 2; q < n; q++ {
+				out[q] = true
+			}
+		} else {
+			for q := 0; q < n; q++ {
+				out[q] = true
+			}
+		}
+	default:
+		for q := 0; q < n; q++ {
+			out[q] = true
+		}
+	}
+	return out
+}
+
+// Reduction computes the fractional EU-cycle reduction of policy p relative
+// to a reference cycle count, expressed in [0,1]. It is a convenience for
+// the experiment harness.
+func Reduction(ref, with int64) float64 {
+	if ref <= 0 {
+		return 0
+	}
+	return float64(ref-with) / float64(ref)
+}

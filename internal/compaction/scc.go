@@ -1,0 +1,219 @@
+package compaction
+
+import (
+	"fmt"
+	"strings"
+
+	"intrawarp/internal/mask"
+)
+
+// LaneAssign describes what one ALU lane position executes during one
+// compressed cycle: the source execution group (quad) and the source lane
+// position within that group. When SrcLane differs from the ALU lane the
+// 4×4 crossbar of paper Fig. 5(c) swizzles the operand; the writeback stage
+// applies the inverse permutation.
+type LaneAssign struct {
+	Enabled bool
+	Quad    int8 // source execution group index
+	SrcLane int8 // source lane position within the group
+}
+
+// CycleSetting is the crossbar and lane-enable configuration for one
+// compressed execution cycle: one assignment per ALU lane position.
+type CycleSetting []LaneAssign
+
+// Swizzled reports whether ALU lane n sources from a different lane
+// position (i.e. the crossbar is active for that lane).
+func (c CycleSetting) Swizzled(n int) bool {
+	return c[n].Enabled && int(c[n].SrcLane) != n
+}
+
+// Schedule is a complete SCC execution plan for one instruction: the
+// sequence of per-cycle crossbar settings computed by the control logic of
+// paper Fig. 6.
+type Schedule struct {
+	Width  int
+	Group  int
+	Mask   mask.Mask
+	Cycles []CycleSetting
+	// BCCOnly is set when the active-quad count already equals the optimal
+	// cycle count, so empty-quad skipping suffices and no lane is swizzled
+	// ("skip empty quads, BCC-like. Done" in the paper's pseudo-code).
+	BCCOnly bool
+}
+
+// SwizzleCount returns the number of (cycle, lane) slots whose operand is
+// routed through the crossbar from a different lane position.
+func (s *Schedule) SwizzleCount() int {
+	n := 0
+	for _, c := range s.Cycles {
+		for ln := range c {
+			if c.Swizzled(ln) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Unswizzle returns, for compressed cycle c, the inverse permutation used
+// by the writeback stage: for each ALU lane n that is enabled, the
+// destination (quad, lane) the result must be written back to. This is by
+// construction the source assignment itself — the inverse permutation of
+// the operand swizzle.
+func (s *Schedule) Unswizzle(c int) []LaneAssign {
+	out := make([]LaneAssign, len(s.Cycles[c]))
+	copy(out, s.Cycles[c])
+	return out
+}
+
+// String renders the schedule for debugging, one line per cycle.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scc mask=%#x width=%d group=%d cycles=%d bccOnly=%v\n",
+		uint32(s.Mask), s.Width, s.Group, len(s.Cycles), s.BCCOnly)
+	for c, cyc := range s.Cycles {
+		fmt.Fprintf(&b, "  cycle %d:", c)
+		for n, a := range cyc {
+			if !a.Enabled {
+				fmt.Fprintf(&b, " L%d:off", n)
+				continue
+			}
+			if int(a.SrcLane) == n {
+				fmt.Fprintf(&b, " L%d:Q%d", n, a.Quad)
+			} else {
+				fmt.Fprintf(&b, " L%d:Q%d.L%d*", n, a.Quad, a.SrcLane)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SwizzleCount returns, in O(width) time and without building the full
+// schedule, the number of operands the Fig. 6 algorithm routes through
+// the crossbar for this mask: each ALU lane position serves its own
+// queue unswizzled once per cycle, so the swizzled remainder is
+// popcount − Σ_lanes min(queueLen, optimalCycles). Equality with
+// Schedule.SwizzleCount is property-tested.
+func SwizzleCount(m mask.Mask, width, group int) int {
+	m = m.Trunc(width)
+	opt := m.OptimalCycles(width, group)
+	if opt == 0 {
+		return 0
+	}
+	quads := mask.QuadCount(width, group)
+	unswizzled := 0
+	for n := 0; n < group; n++ {
+		cnt := 0
+		for q := 0; q < quads; q++ {
+			if m.Quad(q, group).Lane(n) {
+				cnt++
+			}
+		}
+		if cnt > opt {
+			cnt = opt
+		}
+		unswizzled += cnt
+	}
+	return m.PopCount() - unswizzled
+}
+
+// ComputeSchedule runs the SCC control algorithm of paper Fig. 6 for an
+// execution mask of the given width and element group size, returning the
+// per-cycle crossbar settings. The schedule always has
+// max(1, ceil(popcount/group)) cycles; an all-zero mask yields a single
+// cycle with every lane disabled.
+//
+// The algorithm keeps, for each ALU lane position n, a queue of the quads
+// in which lane n is active. The optimal cycle count is
+// ceil(popcount/group). Lanes with queue length above the optimal count
+// have "surplus" elements that must be swizzled into other lane positions;
+// lanes whose queue runs dry before the last cycle have free slots to
+// receive them. Unswizzled assignments are preferred, minimizing crossbar
+// activity.
+func ComputeSchedule(m mask.Mask, width, group int) *Schedule {
+	m = m.Trunc(width)
+	s := &Schedule{Width: width, Group: group, Mask: m}
+	quads := mask.QuadCount(width, group)
+	opt := m.OptimalCycles(width, group)
+
+	if opt == 0 {
+		// Empty mask: one dead issue cycle, all lanes off.
+		s.Cycles = []CycleSetting{make(CycleSetting, group)}
+		return s
+	}
+
+	// Phase 1 of Fig. 6: per-lane queues of active quads.
+	laneQ := make([][]int8, group)
+	for q := 0; q < quads; q++ {
+		qm := m.Quad(q, group)
+		for n := 0; n < group; n++ {
+			if qm.Lane(n) {
+				laneQ[n] = append(laneQ[n], int8(q))
+			}
+		}
+	}
+
+	if m.ActiveQuads(width, group) == opt {
+		// "skip empty quads, BCC-like. Done": emit active quads in order
+		// with no swizzling.
+		s.BCCOnly = true
+		for q := 0; q < quads; q++ {
+			qm := m.Quad(q, group)
+			if qm == 0 {
+				continue
+			}
+			cyc := make(CycleSetting, group)
+			for n := 0; n < group; n++ {
+				if qm.Lane(n) {
+					cyc[n] = LaneAssign{Enabled: true, Quad: int8(q), SrcLane: int8(n)}
+				}
+			}
+			s.Cycles = append(s.Cycles, cyc)
+		}
+		return s
+	}
+
+	// Initial setup: per-lane surplus relative to the optimal cycle count.
+	surplus := make([]int, group)
+	totSurplus := 0
+	for n := 0; n < group; n++ {
+		if len(laneQ[n]) > opt {
+			surplus[n] = len(laneQ[n]) - opt
+			totSurplus += surplus[n]
+		}
+	}
+
+	// Per-cycle scheduling: unswizzled dequeue when the home queue has
+	// work, otherwise fill from the lowest-indexed surplus lane.
+	for c := 0; c < opt; c++ {
+		cyc := make(CycleSetting, group)
+		for n := 0; n < group; n++ {
+			if len(laneQ[n]) > 0 {
+				cyc[n] = LaneAssign{Enabled: true, Quad: laneQ[n][0], SrcLane: int8(n)}
+				laneQ[n] = laneQ[n][1:]
+				continue
+			}
+			if totSurplus > 0 {
+				mIdx := -1
+				for k := 0; k < group; k++ {
+					if surplus[k] > 0 && len(laneQ[k]) > 0 {
+						mIdx = k
+						break
+					}
+				}
+				if mIdx >= 0 {
+					cyc[n] = LaneAssign{Enabled: true, Quad: laneQ[mIdx][0], SrcLane: int8(mIdx)}
+					laneQ[mIdx] = laneQ[mIdx][1:]
+					surplus[mIdx]--
+					totSurplus--
+					continue
+				}
+			}
+			// No surplus: lane stays unfilled this cycle.
+		}
+		s.Cycles = append(s.Cycles, cyc)
+	}
+	return s
+}

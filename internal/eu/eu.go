@@ -1,0 +1,450 @@
+package eu
+
+import (
+	"fmt"
+
+	"intrawarp/internal/compaction"
+	"intrawarp/internal/isa"
+	"intrawarp/internal/memory"
+	"intrawarp/internal/stats"
+)
+
+// Config holds per-EU pipeline parameters (paper §2.2 and Table 3).
+type Config struct {
+	ThreadsPerEU  int
+	PipeDepth     int // cycles from end of execution to writeback
+	IssueInterval int // arbitration period: 2 = "two instructions every two cycles"
+	IssueWidth    int // instructions issued per arbitration pass
+	Policy        compaction.Policy
+
+	// Arbiter selects the thread-arbitration policy of pipeline stage 4
+	// (the paper assumes a "rotating/age-based priority arbiter"; both are
+	// implemented).
+	Arbiter ArbiterPolicy
+
+	// JumpPenalty models the front-end refetch cost: a thread whose IP
+	// moved non-sequentially (taken IF/ELSE jump, loop back-edge, BREAK)
+	// cannot issue again for this many cycles while its instruction queue
+	// refills. Zero (the default) assumes a perfect front end.
+	JumpPenalty int
+
+	// ValidateSCC makes the EU construct the full Fig. 6 crossbar
+	// schedule for every SCC-compressed instruction and cross-check it
+	// against the cycle-cost model: the schedule's length must equal the
+	// charged cycles, every active lane must be issued exactly once, and
+	// no ALU lane may be double-booked in a cycle. A mismatch panics —
+	// it would mean the modeled hardware control logic and the timing
+	// model disagree. Slower; intended for verification runs.
+	ValidateSCC bool
+}
+
+// ArbiterPolicy selects how ready threads are prioritized for issue.
+type ArbiterPolicy uint8
+
+// Arbitration policies.
+const (
+	// ArbiterRoundRobin rotates priority one thread per arbitration pass.
+	ArbiterRoundRobin ArbiterPolicy = iota
+	// ArbiterAgeBased prefers the thread that has gone longest without
+	// issuing an instruction.
+	ArbiterAgeBased
+)
+
+// DefaultConfig returns the Table 3 EU configuration.
+func DefaultConfig() Config {
+	return Config{ThreadsPerEU: 6, PipeDepth: 4, IssueInterval: 2, IssueWidth: 2, Policy: compaction.IvyBridge}
+}
+
+// span is a pending-writeback byte range in the GRF.
+type span struct {
+	lo, hi int // [lo, hi)
+}
+
+func (s span) overlaps(o span) bool { return s.lo < o.hi && o.lo < s.hi }
+
+// wbEvent clears scoreboard state when an instruction's results become
+// architecturally visible.
+type wbEvent struct {
+	at     int64
+	thread int
+	dst    span
+	hasDst bool
+	flag   int // -1 = none
+}
+
+// EU is one execution unit: hardware threads plus the dual-issue timing
+// model.
+type EU struct {
+	ID      int
+	Cfg     Config
+	Threads []*Thread
+
+	mem *memory.System
+
+	pipeFree [2]int64 // next accept cycle for FPU and EM pipes
+	sendFree int64
+
+	sb          [][]span  // per-thread pending GRF writes
+	flagBusy    [][2]int  // per-thread pending flag writers
+	wb          []wbEvent // scheduled writebacks (small; scanned linearly)
+	outstanding []int     // per-thread in-flight memory loads
+
+	lastIssue []int64 // per-thread cycle of last issue (age-based arbiter)
+	readyAt   []int64 // per-thread front-end refill deadline (jump penalty)
+
+	nextArb int
+	order   []int // scratch for arbitration ordering
+	Busy    int64 // execution-pipe occupancy cycles (the paper's "EU cycles")
+
+	// Windows attributes every arbitration window to an outcome
+	// (stats.StallKind): issued, idle, or the dominant stall reason.
+	Windows [stats.NumStallKinds]int64
+}
+
+// New creates an EU with idle threads attached to the given memory system.
+func New(id int, cfg Config, mem *memory.System) *EU {
+	e := &EU{ID: id, Cfg: cfg, mem: mem}
+	e.Threads = make([]*Thread, cfg.ThreadsPerEU)
+	e.sb = make([][]span, cfg.ThreadsPerEU)
+	e.flagBusy = make([][2]int, cfg.ThreadsPerEU)
+	e.outstanding = make([]int, cfg.ThreadsPerEU)
+	e.lastIssue = make([]int64, cfg.ThreadsPerEU)
+	e.readyAt = make([]int64, cfg.ThreadsPerEU)
+	e.order = make([]int, cfg.ThreadsPerEU)
+	for i := range e.Threads {
+		e.Threads[i] = &Thread{ID: id*cfg.ThreadsPerEU + i, State: ThreadIdle}
+	}
+	return e
+}
+
+// operandSpan returns the GRF byte range an operand covers at the given
+// width and element size, and whether it touches the GRF at all.
+func operandSpan(o isa.Operand, width, size int) (span, bool) {
+	switch o.Kind {
+	case isa.RegGRF:
+		lo := o.ByteOffset()
+		return span{lo, lo + width*size}, true
+	case isa.RegScalar:
+		lo := o.ByteOffset()
+		return span{lo, lo + size}, true
+	default:
+		return span{}, false
+	}
+}
+
+// readsFlag reports whether the instruction consumes a flag register, and
+// which one.
+func readsFlag(in *isa.Instruction) (int, bool) {
+	if in.Pred != isa.PredNone || in.Op == isa.OpSel || in.Op == isa.OpWhile {
+		return int(in.Flag), true
+	}
+	return 0, false
+}
+
+// depsClear checks the per-thread scoreboard: no pending write overlaps
+// this instruction's sources or destination, and any consumed or produced
+// flag has no in-flight writer.
+func (e *EU) depsClear(ti int, in *isa.Instruction) bool {
+	width := int(in.Width)
+	size := in.DType.Size()
+	check := func(o isa.Operand, sz int) bool {
+		s, ok := operandSpan(o, width, sz)
+		if !ok {
+			return true
+		}
+		for _, p := range e.sb[ti] {
+			if p.overlaps(s) {
+				return false
+			}
+		}
+		return true
+	}
+	// Address payloads of SENDs are 32-bit regardless of DType.
+	srcSize := size
+	if in.Op == isa.OpSend {
+		srcSize = 4
+	}
+	if !check(in.Src0, srcSize) || !check(in.Src1, srcSize) || !check(in.Src2, srcSize) {
+		return false
+	}
+	if !check(in.Dst, size) { // WAW
+		return false
+	}
+	if f, ok := readsFlag(in); ok && e.flagBusy[ti][f] > 0 {
+		return false
+	}
+	if in.Op == isa.OpCmp && e.flagBusy[ti][in.Flag] > 0 {
+		return false
+	}
+	return true
+}
+
+// Tick advances the EU by one cycle: writebacks first, then (on
+// arbitration cycles) issue of up to IssueWidth instructions from distinct
+// ready threads.
+func (e *EU) Tick(now int64) {
+	e.fireWritebacks(now)
+
+	if e.Cfg.IssueInterval > 1 && now%int64(e.Cfg.IssueInterval) != 0 {
+		return
+	}
+	n := len(e.Threads)
+	// Arbitration order: rotating priority or oldest-first.
+	for i := range e.order {
+		e.order[i] = (e.nextArb + i) % n
+	}
+	if e.Cfg.Arbiter == ArbiterAgeBased {
+		// Insertion sort by last-issue cycle (n ≤ 8).
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && e.lastIssue[e.order[j]] < e.lastIssue[e.order[j-1]]; j-- {
+				e.order[j], e.order[j-1] = e.order[j-1], e.order[j]
+			}
+		}
+	}
+	issued := 0
+	sawFrontend, sawMemory, sawScoreboard, sawPipe := false, false, false, false
+	for i := 0; i < n && issued < e.Cfg.IssueWidth; i++ {
+		ti := e.order[i]
+		th := e.Threads[ti]
+		if th.State != ThreadReady {
+			continue
+		}
+		if e.readyAt[ti] > now {
+			sawFrontend = true
+			continue
+		}
+		in := th.Next()
+		if !e.depsClear(ti, in) {
+			if e.outstanding[ti] > 0 {
+				sawMemory = true
+			} else {
+				sawScoreboard = true
+			}
+			continue
+		}
+		pipe := isa.PipeOf(in.Op)
+		switch pipe {
+		case isa.PipeFPU, isa.PipeEM:
+			// The pipe must be able to start this instruction within the
+			// current issue window; compressed (shorter) instructions can
+			// therefore issue back-to-back, which is exactly how cycle
+			// compression raises front-end demand (§4.3).
+			if e.pipeFree[pipe] > now+int64(e.Cfg.IssueInterval)-1 {
+				sawPipe = true
+				continue
+			}
+		case isa.PipeSend:
+			if e.sendFree > now {
+				sawPipe = true
+				continue
+			}
+		}
+		e.issue(ti, now)
+		issued++
+	}
+	switch {
+	case issued > 0:
+		e.Windows[stats.WinIssued]++
+	case sawMemory:
+		e.Windows[stats.WinMemory]++
+	case sawScoreboard:
+		e.Windows[stats.WinScoreboard]++
+	case sawPipe:
+		e.Windows[stats.WinPipe]++
+	case sawFrontend:
+		e.Windows[stats.WinFrontend]++
+	default:
+		e.Windows[stats.WinIdle]++
+	}
+	e.nextArb = (e.nextArb + 1) % n
+}
+
+// issue functionally executes the thread's next instruction and models its
+// timing: pipe occupancy shaped by the compaction policy, scoreboard
+// reservation of the destination, and memory-request dispatch for SENDs.
+func (e *EU) issue(ti int, now int64) {
+	th := e.Threads[ti]
+	in := th.Next()
+	ipBefore := th.IP
+	res := th.Step(e.mem.Mem)
+	e.lastIssue[ti] = now
+	if e.Cfg.JumpPenalty > 0 && th.State == ThreadReady && th.IP != ipBefore+1 {
+		// Non-sequential fetch: the thread's instruction queue refills.
+		e.readyAt[ti] = now + int64(e.Cfg.JumpPenalty)
+	}
+
+	switch res.Pipe {
+	case isa.PipeFPU, isa.PipeEM:
+		cycles := int64(e.Cfg.Policy.Cycles(res.Mask, res.Width, res.Group))
+		if e.Cfg.ValidateSCC && e.Cfg.Policy == compaction.SCC {
+			validateSCCSchedule(res, cycles)
+		}
+		start := now
+		if e.pipeFree[res.Pipe] > start {
+			start = e.pipeFree[res.Pipe]
+		}
+		e.pipeFree[res.Pipe] = start + cycles
+		e.Busy += cycles
+
+		// Energy proxies (paper §4.1/§4.3): lane slots clocked, operand
+		// quad fetches performed vs suppressed, and SCC crossbar traffic.
+		if th.Stats != nil {
+			th.Stats.LaneCycles += cycles * int64(res.Group)
+			fetches := e.Cfg.Policy.GroupFetches(res.Mask, res.Width, res.Group)
+			done, saved := 0, 0
+			for _, f := range fetches {
+				if f {
+					done++
+				} else {
+					saved++
+				}
+			}
+			ops := in.NumSources()
+			if in.Dst.Kind == isa.RegGRF {
+				ops++
+			}
+			th.Stats.QuadFetches += int64(done * ops)
+			if saved > 0 {
+				th.Stats.OperandFetchesSaved += int64(saved * ops)
+			}
+			if e.Cfg.Policy == compaction.SCC {
+				th.Stats.CrossbarOps += int64(compaction.SwizzleCount(res.Mask, res.Width, res.Group) * ops)
+			}
+		}
+
+		ev := wbEvent{at: start + int64(e.Cfg.PipeDepth) + cycles, thread: ti, flag: -1}
+		if s, ok := operandSpan(in.Dst, res.Width, in.DType.Size()); ok {
+			ev.dst, ev.hasDst = s, true
+			e.sb[ti] = append(e.sb[ti], s)
+		}
+		if in.Op == isa.OpCmp {
+			ev.flag = int(in.Flag)
+			e.flagBusy[ti][in.Flag]++
+		}
+		if ev.hasDst || ev.flag >= 0 {
+			e.wb = append(e.wb, ev)
+		}
+
+	case isa.PipeSend:
+		e.sendFree = now + 1
+		switch {
+		case res.IsBarrier:
+			// Thread parked; the GPU releases the workgroup.
+		case res.Instr.Send.IsSLM() || (res.Instr.Send == isa.SendNone && res.Instr.Op == isa.OpFence):
+			ready := now + 1
+			if len(res.SLMOffsets) > 0 {
+				ready = e.mem.SLMReady(th.SLM, res.SLMOffsets, now)
+			}
+			e.scheduleSendWB(ti, in, res, ready)
+		default:
+			// Global memory: enqueue the coalesced lines; the destination
+			// stays reserved until the data cluster returns the data.
+			if s, ok := operandSpan(in.Dst, res.Width, 4); ok && in.Send.IsLoad() {
+				e.sb[ti] = append(e.sb[ti], s)
+				e.outstanding[ti]++
+				dst := s
+				e.mem.RequestLines(res.Lines, now, func(ready int64) {
+					e.clearSpan(ti, dst)
+					e.outstanding[ti]--
+				})
+			} else {
+				// Stores consume data-cluster bandwidth but retire
+				// immediately from the thread's perspective.
+				e.outstanding[ti]++
+				e.mem.RequestLines(res.Lines, now, func(int64) { e.outstanding[ti]-- })
+			}
+		}
+	}
+}
+
+// validateSCCSchedule rebuilds the crossbar schedule the SCC control
+// logic would emit for this instruction and asserts it is consistent with
+// the charged pipe occupancy (see Config.ValidateSCC).
+func validateSCCSchedule(res ExecResult, charged int64) {
+	s := compaction.ComputeSchedule(res.Mask, res.Width, res.Group)
+	if int64(len(s.Cycles)) != charged {
+		panic(fmt.Sprintf("eu: SCC schedule/%s has %d cycles but %d were charged (mask %#x)",
+			res.Instr.Op, len(s.Cycles), charged, uint32(res.Mask)))
+	}
+	issued := 0
+	for c, cyc := range s.Cycles {
+		for n, a := range cyc {
+			if !a.Enabled {
+				continue
+			}
+			lane := int(a.Quad)*res.Group + int(a.SrcLane)
+			if !res.Mask.Lane(lane) {
+				panic(fmt.Sprintf("eu: SCC schedule cycle %d ALU lane %d sources disabled lane %d (mask %#x)",
+					c, n, lane, uint32(res.Mask)))
+			}
+			issued++
+		}
+	}
+	if want := res.Mask.Trunc(res.Width).PopCount(); issued != want {
+		panic(fmt.Sprintf("eu: SCC schedule issues %d lanes, mask has %d (mask %#x)",
+			issued, want, uint32(res.Mask)))
+	}
+}
+
+// scheduleSendWB reserves and later clears the destination of an SLM load.
+func (e *EU) scheduleSendWB(ti int, in *isa.Instruction, res ExecResult, ready int64) {
+	if s, ok := operandSpan(in.Dst, res.Width, 4); ok && in.Send.IsLoad() {
+		e.sb[ti] = append(e.sb[ti], s)
+		e.wb = append(e.wb, wbEvent{at: ready, thread: ti, dst: s, hasDst: true, flag: -1})
+	}
+}
+
+func (e *EU) clearSpan(ti int, s span) {
+	list := e.sb[ti]
+	for i := range list {
+		if list[i] == s {
+			list[i] = list[len(list)-1]
+			e.sb[ti] = list[:len(list)-1]
+			return
+		}
+	}
+}
+
+func (e *EU) fireWritebacks(now int64) {
+	for i := 0; i < len(e.wb); {
+		ev := e.wb[i]
+		if ev.at > now {
+			i++
+			continue
+		}
+		if ev.hasDst {
+			e.clearSpan(ev.thread, ev.dst)
+		}
+		if ev.flag >= 0 {
+			e.flagBusy[ev.thread][ev.flag]--
+		}
+		e.wb[i] = e.wb[len(e.wb)-1]
+		e.wb = e.wb[:len(e.wb)-1]
+	}
+}
+
+// Quiet reports whether the EU has no runnable work and nothing in flight:
+// used by the GPU's termination check.
+func (e *EU) Quiet() bool {
+	for i, th := range e.Threads {
+		if th.State == ThreadReady || th.State == ThreadBarrier {
+			return false
+		}
+		if e.outstanding[i] > 0 {
+			return false
+		}
+	}
+	return len(e.wb) == 0
+}
+
+// FreeSlots returns the indices of idle or retired thread contexts
+// available for dispatch.
+func (e *EU) FreeSlots() []int {
+	var out []int
+	for i, th := range e.Threads {
+		if (th.State == ThreadIdle || th.State == ThreadDone) && e.outstanding[i] == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

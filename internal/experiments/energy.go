@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"intrawarp/internal/compaction"
+	"intrawarp/internal/gpu"
+	"intrawarp/internal/workloads"
+)
+
+func init() {
+	register(&Experiment{ID: "energy",
+		Title: "Dynamic-energy proxy per policy (quantifying the paper's §4.3 discussion)",
+		Run:   runEnergy})
+}
+
+// EnergyRow compares the energy proxy of one workload across policies,
+// normalized to the Ivy Bridge baseline.
+type EnergyRow struct {
+	Name     string
+	Relative [compaction.NumPolicies]float64
+	// SCCCrossbarShare is the crossbar term's share of SCC energy.
+	SCCCrossbarShare float64
+}
+
+// energyWorkloads is a representative divergent subset (timed energy runs
+// are the most expensive experiment).
+var energyWorkloads = []string{
+	"bfs", "particlefilter", "lavamd", "bsearch", "rt-ao-bl16", "rt-pr-conf",
+}
+
+// Energy measures the weighted dynamic-energy proxy under every policy.
+func Energy(quick bool) ([]EnergyRow, error) {
+	var rows []EnergyRow
+	for _, name := range energyWorkloads {
+		s, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		if quick {
+			n = quickScale(s)
+		}
+		row := EnergyRow{Name: name}
+		var ref float64
+		for _, p := range compaction.Policies {
+			g := gpu.New(gpu.DefaultConfig().WithPolicy(p))
+			run, err := workloads.Execute(g, s, n, true)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, p, err)
+			}
+			e := run.EnergyProxy()
+			if p == compaction.IvyBridge {
+				ref = e
+			}
+			row.Relative[p] = e
+			if p == compaction.SCC && e > 0 {
+				row.SCCCrossbarShare = 0.2 * float64(run.CrossbarOps) / e
+			}
+		}
+		for i := range row.Relative {
+			row.Relative[i] /= ref
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runEnergy(ctx *Context) error {
+	rows, err := Energy(ctx.Quick)
+	if err != nil {
+		return err
+	}
+	t := newTable("workload", "baseline", "ivb", "bcc", "scc", "scc crossbar share")
+	for _, r := range rows {
+		t.add(r.Name,
+			fmt.Sprintf("%.2fx", r.Relative[compaction.Baseline]),
+			fmt.Sprintf("%.2fx", r.Relative[compaction.IvyBridge]),
+			fmt.Sprintf("%.2fx", r.Relative[compaction.BCC]),
+			fmt.Sprintf("%.2fx", r.Relative[compaction.SCC]),
+			fmt.Sprintf("%.1f%%", 100*r.SCCCrossbarShare))
+	}
+	t.render(ctx.Out)
+	ctx.printf("§4.3: BCC saves both execution and operand-fetch energy; SCC saves more\n")
+	ctx.printf("execution energy but keeps full-width fetches and adds (small) crossbar cost.\n")
+	return nil
+}

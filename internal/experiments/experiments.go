@@ -1,0 +1,157 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5): the Ivy Bridge micro-benchmark inference (Fig. 8,
+// Table 2), SIMD efficiency and classification (Fig. 3), utilization
+// breakdowns (Fig. 9), EU-cycle compaction benefit (Fig. 10), the ray
+// tracing and Rodinia execution-time studies (Figs. 11, 12), the summary
+// (Table 4), the machine configuration (Table 3), the register-file area
+// comparison (§4.3), and the ablations called out in DESIGN.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Context carries experiment options.
+type Context struct {
+	Out   io.Writer
+	Quick bool // reduced problem sizes for fast runs
+}
+
+func (c *Context) printf(format string, args ...interface{}) {
+	fmt.Fprintf(c.Out, format, args...)
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(ctx *Context) error
+}
+
+var registry []*Experiment
+
+func register(e *Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments sorted by ID.
+func All() []*Experiment {
+	out := make([]*Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (*Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// Run executes one experiment by ID.
+func Run(id string, ctx *Context) error {
+	e, err := ByID(id)
+	if err != nil {
+		return err
+	}
+	ctx.printf("== %s: %s ==\n", e.ID, e.Title)
+	return e.Run(ctx)
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll(ctx *Context) error {
+	for _, e := range All() {
+		ctx.printf("== %s: %s ==\n", e.ID, e.Title)
+		if err := e.Run(ctx); err != nil {
+			return fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		ctx.printf("\n")
+	}
+	return nil
+}
+
+// table renders rows of columns with right-padded headers.
+type table struct {
+	headers []string
+	rows    [][]string
+}
+
+func newTable(headers ...string) *table { return &table{headers: headers} }
+
+func (t *table) addf(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.1f%%", 100*v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case int64:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func (t *table) render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		for j := 0; j < widths[i]; j++ {
+			sep[i] += "-"
+		}
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// bar renders a crude text bar of fraction v in [0,1].
+func bar(v float64, width int) string {
+	n := int(v*float64(width) + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	s := ""
+	for i := 0; i < n; i++ {
+		s += "#"
+	}
+	for i := n; i < width; i++ {
+		s += "."
+	}
+	return s
+}

@@ -1,0 +1,384 @@
+package experiments
+
+import (
+	"fmt"
+
+	"intrawarp/internal/compaction"
+	"intrawarp/internal/gpu"
+	"intrawarp/internal/isa"
+	"intrawarp/internal/kbuild"
+	"intrawarp/internal/workloads"
+)
+
+func init() {
+	register(&Experiment{ID: "fig8", Title: "Ivy Bridge divergent-branch micro-benchmark (relative execution time vs enabled-lane pattern)", Run: runFig8})
+	register(&Experiment{ID: "table2", Title: "Nested-branch benefit split: Ivy Bridge optimization, BCC, SCC", Run: runTable2})
+	register(&Experiment{ID: "ablation-dtype", Title: "Ablation: compaction benefit vs operand datatype width (§4.1)", Run: runAblationDtype})
+	register(&Experiment{ID: "ablation-issue", Title: "Ablation: front-end issue bandwidth sensitivity (§4.3)", Run: runAblationIssue})
+	register(&Experiment{ID: "ablation-frontend", Title: "Ablation: instruction refetch (jump) penalty on a branchy divergent kernel", Run: runAblationFrontend})
+}
+
+// chainWork emits `chains` independent dependent-MAD chains of length
+// `depth` on fresh accumulators, returning the accumulators.
+func chainWork(b *kbuild.Builder, chains, depth int) []isa.Operand {
+	accs := make([]isa.Operand, chains)
+	for c := range accs {
+		accs[c] = b.Vec()
+		b.Mov(accs[c], b.F(float32(c)+1))
+	}
+	for d := 0; d < depth; d++ {
+		for c := range accs {
+			b.Mad(accs[c], accs[c], b.F(1.0001), b.F(0.5))
+		}
+	}
+	return accs
+}
+
+// patternKernel builds the Fig. 8 micro-benchmark: an IF/ELSE whose taken
+// lanes are exactly the bits of pattern, with equal work on both sides.
+func patternKernel(pattern uint16, depth int) (*isa.Kernel, error) {
+	b := kbuild.New(fmt.Sprintf("ubench-%04x", pattern), isa.SIMD16)
+	lane := b.Vec()
+	b.And(lane, b.GlobalID(), b.U(15))
+	bit := b.Vec()
+	b.Shr(bit, b.U(uint32(pattern)), lane)
+	b.And(bit, bit, b.U(1))
+	b.CmpU(isa.F0, isa.CmpEQ, bit, b.U(1))
+	b.If(isa.F0)
+	accA := chainWork(b, 4, depth)
+	b.Else()
+	accB := chainWork(b, 4, depth)
+	b.EndIf()
+	out := b.Vec()
+	b.Add(out, accA[0], accB[0])
+	oAddr := b.Addr(b.Arg(0), b.GlobalID(), 4)
+	b.StoreScatter(oAddr, out)
+	return b.Build()
+}
+
+// runPattern measures total cycles of the pattern kernel under a policy.
+func runPattern(pattern uint16, policy compaction.Policy, n, depth int) (total, busy int64, err error) {
+	k, err := patternKernel(pattern, depth)
+	if err != nil {
+		return 0, 0, err
+	}
+	g := gpu.New(gpu.DefaultConfig().WithPolicy(policy))
+	out := g.AllocU32(n, make([]uint32, n))
+	run, err := g.Run(gpu.LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 96, Args: []uint32{out}})
+	if err != nil {
+		return 0, 0, err
+	}
+	return run.TotalCycles, run.EUBusy, nil
+}
+
+// Fig8Patterns are the enabled-lane patterns of paper Fig. 8.
+var Fig8Patterns = []uint16{0xFFFF, 0xF0F0, 0x00FF, 0xFF0F, 0xAAAA}
+
+// Fig8Result holds relative execution time per pattern and policy.
+type Fig8Result struct {
+	Pattern  uint16
+	Relative [compaction.NumPolicies]float64 // vs the 0xFFFF case under the same policy
+}
+
+// Fig8 computes the micro-benchmark results.
+func Fig8(quick bool) ([]Fig8Result, error) {
+	n, depth := 4096, 24
+	if quick {
+		n, depth = 1024, 16
+	}
+	var refs [compaction.NumPolicies]int64
+	out := make([]Fig8Result, 0, len(Fig8Patterns))
+	for _, pat := range Fig8Patterns {
+		res := Fig8Result{Pattern: pat}
+		for _, p := range compaction.Policies {
+			total, _, err := runPattern(pat, p, n, depth)
+			if err != nil {
+				return nil, err
+			}
+			if pat == 0xFFFF {
+				refs[p] = total
+			}
+			res.Relative[p] = float64(total) / float64(refs[p])
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func runFig8(ctx *Context) error {
+	results, err := Fig8(ctx.Quick)
+	if err != nil {
+		return err
+	}
+	t := newTable("pattern", "baseline", "ivb (paper's HW)", "bcc", "scc")
+	for _, r := range results {
+		t.add(fmt.Sprintf("0x%04X", r.Pattern),
+			fmt.Sprintf("%.0f%%", 100*r.Relative[compaction.Baseline]),
+			fmt.Sprintf("%.0f%%", 100*r.Relative[compaction.IvyBridge]),
+			fmt.Sprintf("%.0f%%", 100*r.Relative[compaction.BCC]),
+			fmt.Sprintf("%.0f%%", 100*r.Relative[compaction.SCC]))
+	}
+	t.render(ctx.Out)
+	ctx.printf("paper (ivb column): 0xFFFF=100%% 0xF0F0=200%% 0x00FF=100%% 0xFF0F~150%% 0xAAAA=200%%\n")
+	return nil
+}
+
+// nestedKernel builds the Table 2 micro-benchmark: `levels` nested
+// IF/ELSE splits on successive lane-index bits, with the work chain at
+// every leaf.
+func nestedKernel(levels, depth int) (*isa.Kernel, error) {
+	b := kbuild.New(fmt.Sprintf("nested-l%d", levels), isa.SIMD16)
+	lane := b.Vec()
+	b.And(lane, b.GlobalID(), b.U(15))
+	sink := b.Vec()
+	b.Mov(sink, b.F(0))
+	var nest func(level int)
+	nest = func(level int) {
+		if level == levels {
+			mark := b.Mark()
+			accs := chainWork(b, 2, depth)
+			b.Add(sink, sink, accs[0])
+			b.Release(mark)
+			return
+		}
+		mark := b.Mark()
+		bit := b.Vec()
+		b.And(bit, lane, b.U(1<<uint(level)))
+		b.CmpU(isa.F0, isa.CmpEQ, bit, b.U(0))
+		b.Release(mark)
+		b.If(isa.F0)
+		nest(level + 1)
+		b.Else()
+		nest(level + 1)
+		b.EndIf()
+	}
+	nest(0)
+	oAddr := b.Addr(b.Arg(0), b.GlobalID(), 4)
+	b.StoreScatter(oAddr, sink)
+	return b.Build()
+}
+
+// Table2Row is the measured benefit split at one nesting level.
+type Table2Row struct {
+	Level         int
+	IVBBenefit    float64 // cycle reduction of IVB vs baseline
+	BCCAdditional float64 // additional reduction of BCC, as a fraction of baseline
+	SCCAdditional float64 // additional reduction of SCC, as a fraction of baseline
+}
+
+// Table2 measures EU busy cycles of the nested micro-benchmark under all
+// policies.
+func Table2(quick bool) ([]Table2Row, error) {
+	n, depth := 2048, 24
+	if quick {
+		n, depth = 512, 16
+	}
+	var rows []Table2Row
+	for levels := 1; levels <= 4; levels++ {
+		k, err := nestedKernel(levels, depth)
+		if err != nil {
+			return nil, err
+		}
+		var busy [compaction.NumPolicies]int64
+		for _, p := range compaction.Policies {
+			g := gpu.New(gpu.DefaultConfig().WithPolicy(p))
+			out := g.AllocU32(n, make([]uint32, n))
+			run, err := g.Run(gpu.LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 96, Args: []uint32{out}})
+			if err != nil {
+				return nil, err
+			}
+			busy[p] = run.EUBusy
+		}
+		base := float64(busy[compaction.Baseline])
+		rows = append(rows, Table2Row{
+			Level:         levels,
+			IVBBenefit:    (base - float64(busy[compaction.IvyBridge])) / base,
+			BCCAdditional: (float64(busy[compaction.IvyBridge]) - float64(busy[compaction.BCC])) / base,
+			SCCAdditional: (float64(busy[compaction.BCC]) - float64(busy[compaction.SCC])) / base,
+		})
+	}
+	return rows, nil
+}
+
+func runTable2(ctx *Context) error {
+	rows, err := Table2(ctx.Quick)
+	if err != nil {
+		return err
+	}
+	t := newTable("nesting", "ivb benefit", "bcc additional", "scc additional")
+	for _, r := range rows {
+		t.add(fmt.Sprintf("L%d", r.Level), r.IVBBenefit, r.BCCAdditional, r.SCCAdditional)
+	}
+	t.render(ctx.Out)
+	ctx.printf("paper: L1 scc 50%% | L2 scc 75%% | L3 bcc 50%% + scc 25%% | L4 ivb 50%% + bcc 25%%\n")
+	ctx.printf("(measured values are diluted by the control-flow instructions themselves)\n")
+	return nil
+}
+
+// DtypeRow is the datatype ablation result.
+type DtypeRow struct {
+	DType        isa.DataType
+	BCCReduction float64 // EU-busy reduction of BCC vs baseline
+}
+
+// AblationDtype measures how the BCC benefit scales with operand width on
+// a one-quad-active pattern: f64 executes more group cycles per
+// instruction, so compaction has more to harvest per §4.1.
+func AblationDtype(quick bool) ([]DtypeRow, error) {
+	n := 2048
+	depth := 24
+	if quick {
+		n, depth = 512, 16
+	}
+	var rows []DtypeRow
+	for _, dt := range []isa.DataType{isa.F16, isa.F32, isa.F64} {
+		b := kbuild.New("dtype-"+dt.String(), isa.SIMD16)
+		lane := b.Vec()
+		b.And(lane, b.GlobalID(), b.U(15))
+		// Only lanes 0..3 active inside the branch: one group of f32,
+		// half a group of f64, a quarter group of f16.
+		b.CmpU(isa.F0, isa.CmpLT, lane, b.U(4))
+		b.If(isa.F0)
+		acc := b.VecTyped(dt)
+		b.Emit(isa.Instruction{Op: isa.OpMov, DType: dt, Dst: acc, Src0: b.U(1)})
+		for d := 0; d < depth; d++ {
+			b.Emit(isa.Instruction{Op: isa.OpAdd, DType: dt, Dst: acc, Src0: acc, Src1: b.U(3)})
+		}
+		b.EndIf()
+		oAddr := b.Addr(b.Arg(0), b.GlobalID(), 4)
+		zero := b.Vec()
+		b.MovU(zero, b.U(0))
+		b.StoreScatter(oAddr, zero)
+		k, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		var busy [2]int64
+		for i, p := range []compaction.Policy{compaction.Baseline, compaction.BCC} {
+			g := gpu.New(gpu.DefaultConfig().WithPolicy(p))
+			out := g.AllocU32(n, make([]uint32, n))
+			run, err := g.Run(gpu.LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 96, Args: []uint32{out}})
+			if err != nil {
+				return nil, err
+			}
+			busy[i] = run.EUBusy
+		}
+		rows = append(rows, DtypeRow{DType: dt,
+			BCCReduction: float64(busy[0]-busy[1]) / float64(busy[0])})
+	}
+	return rows, nil
+}
+
+func runAblationDtype(ctx *Context) error {
+	rows, err := AblationDtype(ctx.Quick)
+	if err != nil {
+		return err
+	}
+	t := newTable("dtype", "group size", "bcc reduction vs baseline")
+	for _, r := range rows {
+		t.add(r.DType.String(), r.DType.GroupSize(), r.BCCReduction)
+	}
+	t.render(ctx.Out)
+	ctx.printf("§4.1: wider datatypes (more execution cycles per instruction) benefit more\n")
+	return nil
+}
+
+// AblationIssue compares kernel time at issue widths 1 and 2: cycle
+// compression raises the demanded issue rate, so a narrower front end
+// forfeits part of the benefit (§4.3's balance argument).
+func AblationIssue(quick bool) (map[string]int64, error) {
+	n, depth := 2048, 4
+	if quick {
+		n, depth = 512, 4
+	}
+	k, err := patternKernel(0x000F, depth)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]int64{}
+	for _, iw := range []int{1, 2} {
+		for _, p := range []compaction.Policy{compaction.Baseline, compaction.SCC} {
+			cfg := gpu.DefaultConfig().WithPolicy(p)
+			cfg.EU.IssueWidth = iw
+			g := gpu.New(cfg)
+			buf := g.AllocU32(n, make([]uint32, n))
+			run, err := g.Run(gpu.LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 96, Args: []uint32{buf}})
+			if err != nil {
+				return nil, err
+			}
+			out[fmt.Sprintf("iw%d-%s", iw, p)] = run.TotalCycles
+		}
+	}
+	return out, nil
+}
+
+// FrontendRow is the jump-penalty ablation result for one penalty value.
+type FrontendRow struct {
+	Penalty      int
+	BaseCycles   int64
+	SCCCycles    int64
+	SCCReduction float64
+}
+
+// AblationFrontend measures how a non-zero instruction-refetch penalty
+// (paper §2.2 pipeline stage 1) erodes the total-time benefit of SCC on a
+// branchy divergent workload: every loop back-edge and divergence jump
+// stalls the thread's front end, and those stalls do not compress.
+func AblationFrontend(quick bool) ([]FrontendRow, error) {
+	w, err := workloads.ByName("bsearch")
+	if err != nil {
+		return nil, err
+	}
+	n := 1024
+	if quick {
+		n = 256
+	}
+	var rows []FrontendRow
+	for _, pen := range []int{0, 2, 4, 8} {
+		var tot [2]int64
+		for i, p := range []compaction.Policy{compaction.IvyBridge, compaction.SCC} {
+			cfg := gpu.DefaultConfig().WithPolicy(p)
+			cfg.EU.JumpPenalty = pen
+			g := gpu.New(cfg)
+			run, err := workloads.Execute(g, w, n, true)
+			if err != nil {
+				return nil, err
+			}
+			tot[i] = run.TotalCycles
+		}
+		rows = append(rows, FrontendRow{Penalty: pen, BaseCycles: tot[0], SCCCycles: tot[1],
+			SCCReduction: compaction.Reduction(tot[0], tot[1])})
+	}
+	return rows, nil
+}
+
+func runAblationFrontend(ctx *Context) error {
+	rows, err := AblationFrontend(ctx.Quick)
+	if err != nil {
+		return err
+	}
+	t := newTable("jump penalty", "ivb cycles", "scc cycles", "scc reduction")
+	for _, r := range rows {
+		t.add(r.Penalty, r.BaseCycles, r.SCCCycles, r.SCCReduction)
+	}
+	t.render(ctx.Out)
+	ctx.printf("§2.2/§4.3: front-end refetch stalls do not compress, so a slower instruction\n")
+	ctx.printf("supply erodes the wall-clock benefit of cycle compression on branchy code.\n")
+	return nil
+}
+
+func runAblationIssue(ctx *Context) error {
+	res, err := AblationIssue(ctx.Quick)
+	if err != nil {
+		return err
+	}
+	t := newTable("issue width", "baseline cycles", "scc cycles", "scc speedup")
+	for _, iw := range []int{1, 2} {
+		base := res[fmt.Sprintf("iw%d-baseline", iw)]
+		scc := res[fmt.Sprintf("iw%d-scc", iw)]
+		t.add(iw, base, scc, fmt.Sprintf("%.2fx", float64(base)/float64(scc)))
+	}
+	t.render(ctx.Out)
+	ctx.printf("§4.3: compression increases front-end demand; a narrow issue stage caps the gain\n")
+	return nil
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"intrawarp/internal/gpu"
+	"intrawarp/internal/regfile"
+)
+
+func init() {
+	register(&Experiment{ID: "table3", Title: "Microarchitecture parameters (machine configuration)", Run: runTable3})
+	register(&Experiment{ID: "rfarea", Title: "Register-file area comparison (§4.3, CACTI substitute)", Run: runRFArea})
+}
+
+func runTable3(ctx *Context) error {
+	cfg := gpu.DefaultConfig()
+	t := newTable("parameter", "value")
+	t.add("EU", fmt.Sprintf("%d EUs, %d threads per EU", cfg.NumEUs, cfg.EU.ThreadsPerEU))
+	t.add("SLM", fmt.Sprintf("%dKB, %d cycles, %d banks", cfg.Mem.SLMBytes>>10, cfg.Mem.SLMLatency, cfg.Mem.SLMBanks))
+	t.add("L3", fmt.Sprintf("%dKB, %d-way, %d banks, %d cycles", cfg.Mem.L3Bytes>>10, cfg.Mem.L3Ways, cfg.Mem.L3Banks, cfg.Mem.L3Latency))
+	t.add("LLC", fmt.Sprintf("%dMB, %d-way, %d banks, %d cycles", cfg.Mem.LLCBytes>>20, cfg.Mem.LLCWays, cfg.Mem.LLCBanks, cfg.Mem.LLCLatency))
+	t.add("DRAM", fmt.Sprintf("%d cycles, 1 line per %d cycles", cfg.Mem.DRAMLatency, cfg.Mem.DRAMIssueInterval))
+	t.add("L3 BW", fmt.Sprintf("%d line(s)/cycle data cluster to L3 (DC1; DC2 doubles it)", cfg.Mem.DCLinesPerCycle))
+	t.add("Issue BW", fmt.Sprintf("%d instructions every %d cycles", cfg.EU.IssueWidth, cfg.EU.IssueInterval))
+	t.render(ctx.Out)
+	return nil
+}
+
+// RFAreaRow is one register-file organization's modeled area.
+type RFAreaRow struct {
+	Org      regfile.Organization
+	Area     float64
+	Overhead float64
+}
+
+// RFArea evaluates the analytical area model for the four organizations
+// of paper §4.3 / Fig. 5.
+func RFArea() []RFAreaRow {
+	var rows []RFAreaRow
+	for _, o := range []regfile.Organization{
+		regfile.BaselineOrg, regfile.BCCOrg, regfile.SCCOrg, regfile.InterWarpOrg,
+	} {
+		rows = append(rows, RFAreaRow{Org: o, Area: o.Area(), Overhead: o.Overhead()})
+	}
+	return rows
+}
+
+func runRFArea(ctx *Context) error {
+	t := newTable("organization", "geometry", "area (cells)", "overhead vs baseline")
+	for _, r := range RFArea() {
+		t.add(r.Org.Name, fmt.Sprintf("%d×%d×%db", r.Org.Banks, r.Org.Entries, r.Org.EntryBits),
+			fmt.Sprintf("%.0f", r.Area), r.Overhead)
+	}
+	t.render(ctx.Out)
+	ctx.printf("paper: BCC ≈ +10%%; 8-banked per-lane-addressable (inter-warp schemes) > +40%%\n")
+	return nil
+}

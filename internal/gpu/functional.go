@@ -1,0 +1,140 @@
+package gpu
+
+import (
+	"fmt"
+
+	"intrawarp/internal/eu"
+	"intrawarp/internal/isa"
+	"intrawarp/internal/memory"
+	"intrawarp/internal/stats"
+)
+
+// InstrVisitor observes every functionally executed instruction; used by
+// the trace writer to capture execution masks (the paper's trace-based
+// methodology, §5.1). wg and thread identify the workgroup and the
+// EU-thread within it.
+type InstrVisitor func(wg, thread int, res eu.ExecResult)
+
+// RunFunctional executes the launch on the functional model only: no
+// pipeline or memory timing, just architectural execution with statistics
+// and what-if compaction accounting. Workgroups run one at a time; their
+// threads are interleaved one instruction at a time, which resolves
+// barriers and keeps atomics deterministic. This is the fast path used
+// for trace collection and EU-cycle-only experiments (Figs. 3, 9, 10).
+func (g *GPU) RunFunctional(spec LaunchSpec, visit InstrVisitor) (*stats.Run, error) {
+	threadsPerWG, numWGs, err := spec.validate(g.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	run := stats.NewRun(spec.Kernel.Name, spec.Kernel.Width.Lanes())
+
+	// A detached pool of thread contexts: the functional model does not
+	// occupy EU slots.
+	pool := make([]*eu.Thread, threadsPerWG)
+	for i := range pool {
+		pool[i] = &eu.Thread{}
+	}
+
+	const maxSteps = 1 << 32
+	for wg := 0; wg < numWGs; wg++ {
+		slm := memory.NewSLM(g.Cfg.Mem.SLMBytes, g.Cfg.Mem.SLMBanks)
+		for t := 0; t < threadsPerWG; t++ {
+			initThread(pool[t], &spec, wg, t, slm, run)
+		}
+		var steps int64
+		for {
+			progressed := false
+			for ti, th := range pool {
+				if th.State != eu.ThreadReady {
+					continue
+				}
+				res := th.Step(g.Mem.Mem)
+				if visit != nil {
+					visit(wg, ti, res)
+				}
+				steps++
+				progressed = true
+			}
+			// Barrier release: every live thread parked.
+			atBar, done := 0, 0
+			for _, th := range pool {
+				switch th.State {
+				case eu.ThreadBarrier:
+					atBar++
+				case eu.ThreadDone:
+					done++
+				}
+			}
+			if atBar > 0 && atBar+done == len(pool) {
+				for _, th := range pool {
+					if th.State == eu.ThreadBarrier {
+						th.State = eu.ThreadReady
+					}
+				}
+				progressed = true
+			}
+			if done == len(pool) {
+				break
+			}
+			if !progressed {
+				return nil, fmt.Errorf("gpu: kernel %s: functional deadlock in workgroup %d", spec.Kernel.Name, wg)
+			}
+			if steps > maxSteps {
+				return nil, fmt.Errorf("gpu: kernel %s: functional run exceeded %d steps", spec.Kernel.Name, int64(maxSteps))
+			}
+		}
+	}
+	return run, nil
+}
+
+// ReadBufferU32 copies count words from device memory starting at addr —
+// a host-side convenience for examples and tests.
+func (g *GPU) ReadBufferU32(addr uint32, count int) []uint32 {
+	out := make([]uint32, count)
+	for i := range out {
+		out[i] = g.Mem.Mem.ReadU32(addr + uint32(i*4))
+	}
+	return out
+}
+
+// WriteBufferU32 copies words into device memory starting at addr.
+func (g *GPU) WriteBufferU32(addr uint32, data []uint32) {
+	for i, v := range data {
+		g.Mem.Mem.WriteU32(addr+uint32(i*4), v)
+	}
+}
+
+// AllocU32 allocates a device buffer of count words and optionally
+// initializes it; it returns the base address.
+func (g *GPU) AllocU32(count int, init []uint32) uint32 {
+	addr := g.Mem.Mem.Alloc(count * 4)
+	if init != nil {
+		if len(init) > count {
+			panic(fmt.Sprintf("gpu: init data (%d) exceeds buffer (%d)", len(init), count))
+		}
+		g.WriteBufferU32(addr, init)
+	}
+	return addr
+}
+
+// AllocF32 allocates and optionally initializes a float32 device buffer.
+func (g *GPU) AllocF32(count int, init []float32) uint32 {
+	words := make([]uint32, len(init))
+	for i, v := range init {
+		words[i] = isa.F32ToBits(v)
+	}
+	addr := g.Mem.Mem.Alloc(count * 4)
+	if init != nil {
+		g.WriteBufferU32(addr, words)
+	}
+	return addr
+}
+
+// ReadBufferF32 copies count floats from device memory starting at addr.
+func (g *GPU) ReadBufferF32(addr uint32, count int) []float32 {
+	out := make([]float32, count)
+	for i := range out {
+		out[i] = isa.F32FromBits(g.Mem.Mem.ReadU32(addr + uint32(i*4)))
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+// Package gpu assembles the full compute cluster of the studied
+// architecture (paper Fig. 1): several EUs behind a shared data cluster,
+// a thread dispatcher that walks workgroups onto free hardware-thread
+// slots, shared-local-memory allocation per workgroup, and workgroup
+// barrier coordination. It provides both a cycle-level timed run and a
+// fast functional-only run (the paper's trace-collection mode).
+package gpu
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"intrawarp/internal/compaction"
+	"intrawarp/internal/eu"
+	"intrawarp/internal/isa"
+	"intrawarp/internal/mask"
+	"intrawarp/internal/memory"
+	"intrawarp/internal/stats"
+)
+
+// Config describes the whole GPU.
+type Config struct {
+	NumEUs int
+	EU     eu.Config
+	Mem    memory.Config
+
+	// MaxCycles aborts a timed run that exceeds this budget (simulator
+	// hang guard). Zero means the default of 1e9.
+	MaxCycles int64
+}
+
+// DefaultConfig returns the paper's Table 3 machine: 6 EUs × 6 threads,
+// DC1 memory system, with the Ivy Bridge compaction policy.
+func DefaultConfig() Config {
+	return Config{NumEUs: 6, EU: eu.DefaultConfig(), Mem: memory.DefaultConfig()}
+}
+
+// WithPolicy returns a copy of the config running the given compaction
+// policy.
+func (c Config) WithPolicy(p compaction.Policy) Config {
+	c.EU.Policy = p
+	return c
+}
+
+// LaunchSpec describes one kernel launch (OpenCL NDRange). A launch is
+// 1-dimensional unless GlobalSizeY > 1: then GlobalSize/GroupSize are the
+// X extents, GlobalSizeY/GroupSizeY the Y extents, lanes cover consecutive
+// X positions of one row, and the per-lane Y ids appear at eu.IDRegY.
+type LaunchSpec struct {
+	Kernel      *isa.Kernel
+	GlobalSize  int      // total work-items (X extent for 2-D launches)
+	GroupSize   int      // work-items per workgroup (X extent for 2-D)
+	GlobalSizeY int      // Y extent; 0 or 1 selects a 1-D launch
+	GroupSizeY  int      // workgroup Y extent (2-D launches; default 1)
+	Args        []uint32 // scalar arguments, loaded at eu.ArgBase
+}
+
+// is2D reports whether the launch uses the 2-dimensional NDRange.
+func (s *LaunchSpec) is2D() bool { return s.GlobalSizeY > 1 }
+
+// groupSizeY returns the normalized workgroup Y extent.
+func (s *LaunchSpec) groupSizeY() int {
+	if s.GroupSizeY < 1 {
+		return 1
+	}
+	return s.GroupSizeY
+}
+
+// wgGridX returns the number of workgroups along X.
+func (s *LaunchSpec) wgGridX() int {
+	return (s.GlobalSize + s.GroupSize - 1) / s.GroupSize
+}
+
+func (s *LaunchSpec) validate(cfg Config) (threadsPerWG, numWGs int, err error) {
+	if s.Kernel == nil {
+		return 0, 0, fmt.Errorf("gpu: nil kernel")
+	}
+	if err := s.Kernel.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if s.GlobalSize <= 0 || s.GroupSize <= 0 {
+		return 0, 0, fmt.Errorf("gpu: kernel %s: bad NDRange %d/%d", s.Kernel.Name, s.GlobalSize, s.GroupSize)
+	}
+	width := s.Kernel.Width.Lanes()
+	xThreads := (s.GroupSize + width - 1) / width
+	threadsPerWG = xThreads
+	numWGs = (s.GlobalSize + s.GroupSize - 1) / s.GroupSize
+	if s.is2D() {
+		// The Y-id payload registers (r3..r4) only exist below SIMD32.
+		if width > 16 {
+			return 0, 0, fmt.Errorf("gpu: kernel %s: 2-D launches support SIMD8/SIMD16 only", s.Kernel.Name)
+		}
+		threadsPerWG = xThreads * s.groupSizeY()
+		numWGs = s.wgGridX() * ((s.GlobalSizeY + s.groupSizeY() - 1) / s.groupSizeY())
+	}
+	if threadsPerWG > cfg.EU.ThreadsPerEU {
+		return 0, 0, fmt.Errorf("gpu: kernel %s: workgroup needs %d threads, EU has %d",
+			s.Kernel.Name, threadsPerWG, cfg.EU.ThreadsPerEU)
+	}
+	if len(s.Args) > (eu.FirstFree-eu.ArgBase)*8 {
+		return 0, 0, fmt.Errorf("gpu: kernel %s: too many arguments (%d)", s.Kernel.Name, len(s.Args))
+	}
+	return threadsPerWG, numWGs, nil
+}
+
+// workgroup tracks one in-flight thread block.
+type workgroup struct {
+	id      int
+	slm     *memory.SLM
+	members []*eu.Thread
+}
+
+// GPU is the compute cluster.
+type GPU struct {
+	Cfg Config
+	Mem *memory.System
+	EUs []*eu.EU
+}
+
+// New builds a GPU for the given configuration.
+func New(cfg Config) *GPU {
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 1_000_000_000
+	}
+	g := &GPU{Cfg: cfg, Mem: memory.NewSystem(cfg.Mem)}
+	for i := 0; i < cfg.NumEUs; i++ {
+		g.EUs = append(g.EUs, eu.New(i, cfg.EU, g.Mem))
+	}
+	return g
+}
+
+// initThread prepares a hardware thread's payload registers for dispatch
+// (the layout documented in package eu). wg is the flat workgroup index.
+func initThread(th *eu.Thread, spec *LaunchSpec, wg, tIdx int, slm *memory.SLM, run *stats.Run) {
+	width := spec.Kernel.Width.Lanes()
+
+	var dm mask.Mask
+	var xIDs, yIDs [32]uint32
+	wx, wy := wg, 0
+	if spec.is2D() {
+		wx, wy = wg%spec.wgGridX(), wg/spec.wgGridX()
+		xThreads := (spec.GroupSize + width - 1) / width
+		tx, ty := tIdx%xThreads, tIdx/xThreads
+		y := wy*spec.groupSizeY() + ty
+		for lane := 0; lane < width; lane++ {
+			localX := tx*width + lane
+			x := wx*spec.GroupSize + localX
+			xIDs[lane], yIDs[lane] = uint32(x), uint32(y)
+			if x < spec.GlobalSize && localX < spec.GroupSize && y < spec.GlobalSizeY {
+				dm = dm.SetLane(lane)
+			}
+		}
+	} else {
+		base := wg*spec.GroupSize + tIdx*width
+		for lane := 0; lane < width; lane++ {
+			local := tIdx*width + lane
+			xIDs[lane] = uint32(base + lane)
+			if base+lane < spec.GlobalSize && local < spec.GroupSize {
+				dm = dm.SetLane(lane)
+			}
+		}
+	}
+	th.Reset(spec.Kernel.Program, width, dm)
+	th.Workgroup = wg
+	th.SLM = slm
+	th.Stats = run
+
+	// r0 scalar payload.
+	totalItems := spec.GlobalSize
+	if spec.is2D() {
+		totalItems *= spec.GlobalSizeY
+	}
+	th.GRF.WriteU32(eu.PayloadReg*32+eu.R0GroupID, uint32(wg))
+	th.GRF.WriteU32(eu.PayloadReg*32+eu.R0LocalTID, uint32(tIdx))
+	th.GRF.WriteU32(eu.PayloadReg*32+eu.R0GroupSize, uint32(spec.GroupSize*spec.groupSizeY()))
+	th.GRF.WriteU32(eu.PayloadReg*32+eu.R0GlobalSize, uint32(totalItems))
+	th.GRF.WriteU32(eu.PayloadReg*32+eu.R0SIMDWidth, uint32(width))
+	th.GRF.WriteU32(eu.PayloadReg*32+eu.R0GroupIDX, uint32(wx))
+	th.GRF.WriteU32(eu.PayloadReg*32+eu.R0GroupIDY, uint32(wy))
+	th.GRF.WriteU32(eu.PayloadReg*32+eu.R0GlobalSizeX, uint32(spec.GlobalSize))
+
+	// r1.. X ids and (2-D only) r3.. Y ids, one u32 per lane.
+	var buf [4]byte
+	for lane := 0; lane < width; lane++ {
+		binary.LittleEndian.PutUint32(buf[:], xIDs[lane])
+		th.GRF.WriteBytes(eu.IDReg*32+lane*4, buf[:])
+	}
+	if spec.is2D() {
+		for lane := 0; lane < width; lane++ {
+			binary.LittleEndian.PutUint32(buf[:], yIDs[lane])
+			th.GRF.WriteBytes(eu.IDRegY*32+lane*4, buf[:])
+		}
+	}
+
+	// r5..: scalar kernel arguments.
+	for i, a := range spec.Args {
+		th.GRF.WriteU32(eu.ArgBase*32+i*4, a)
+	}
+}
+
+// Run executes a timed, cycle-level simulation of the launch and returns
+// the collected statistics.
+func (g *GPU) Run(spec LaunchSpec) (*stats.Run, error) {
+	threadsPerWG, numWGs, err := spec.validate(g.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	run := stats.NewRun(spec.Kernel.Name, spec.Kernel.Width.Lanes())
+	run.TimedPolicy = g.Cfg.EU.Policy
+
+	nextWG := 0
+	live := make(map[int]*workgroup)
+	var cycle int64
+
+	for {
+		g.Mem.Tick(cycle)
+		for _, e := range g.EUs {
+			e.Tick(cycle)
+		}
+
+		// Dispatch: place whole workgroups onto EUs with enough free slots.
+		for nextWG < numWGs {
+			placed := false
+			for _, e := range g.EUs {
+				slots := e.FreeSlots()
+				if len(slots) < threadsPerWG {
+					continue
+				}
+				wg := &workgroup{id: nextWG, slm: memory.NewSLM(g.Cfg.Mem.SLMBytes, g.Cfg.Mem.SLMBanks)}
+				for t := 0; t < threadsPerWG; t++ {
+					th := e.Threads[slots[t]]
+					initThread(th, &spec, nextWG, t, wg.slm, run)
+					wg.members = append(wg.members, th)
+				}
+				live[nextWG] = wg
+				nextWG++
+				placed = true
+				break
+			}
+			if !placed {
+				break
+			}
+		}
+
+		// Barrier release: when every member of a workgroup is parked.
+		for id, wg := range live {
+			atBar, done := 0, 0
+			for _, th := range wg.members {
+				switch th.State {
+				case eu.ThreadBarrier:
+					atBar++
+				case eu.ThreadDone:
+					done++
+				}
+			}
+			if atBar > 0 && atBar+done == len(wg.members) {
+				for _, th := range wg.members {
+					if th.State == eu.ThreadBarrier {
+						th.State = eu.ThreadReady
+					}
+				}
+			}
+			if done == len(wg.members) {
+				delete(live, id)
+			}
+		}
+
+		// Termination.
+		if nextWG >= numWGs && len(live) == 0 && !g.Mem.InFlight() {
+			quiet := true
+			for _, e := range g.EUs {
+				if !e.Quiet() {
+					quiet = false
+					break
+				}
+			}
+			if quiet {
+				break
+			}
+		}
+
+		cycle++
+		if cycle > g.Cfg.MaxCycles {
+			return nil, fmt.Errorf("gpu: kernel %s exceeded %d cycles", spec.Kernel.Name, g.Cfg.MaxCycles)
+		}
+	}
+
+	run.TotalCycles = cycle
+	for _, e := range g.EUs {
+		run.EUBusy += e.Busy
+		for k := range e.Windows {
+			run.Windows[k] += e.Windows[k]
+		}
+	}
+	run.Mem = g.Mem.Stats
+	run.L3HitRate = g.Mem.L3.HitRate()
+	return run, nil
+}

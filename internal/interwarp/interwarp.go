@@ -1,0 +1,196 @@
+// Package interwarp implements an idealized estimator for the *inter-warp*
+// compaction schemes the paper argues against (thread block compaction /
+// TBC, dynamic warp formation, large-warp microarchitectures; §1 and §6).
+//
+// Inter-warp schemes regroup work-items from different warps of the same
+// thread block that sit at the same program point. Lane position is
+// preserved (per-lane register banking), so for each lane position the
+// k-th active warp's work-item lands in compacted warp k: the compacted
+// warp count at a step is the maximum, over lane positions, of the number
+// of warps with that lane active.
+//
+// The estimator replays per-warp execution streams that have been aligned
+// by dynamic instruction index — the idealization used in limit studies:
+// it assumes the implicit warp barrier TBC inserts at divergence points
+// costs nothing, so it *overestimates* inter-warp benefit. Even under this
+// generous model the paper's two claims show up:
+//
+//  1. intra-warp SCC captures the bulk of the idealized inter-warp gain,
+//     at far lower hardware cost;
+//  2. inter-warp regrouping increases memory divergence (a compacted
+//     warp's gathers touch the union of its source warps' cache lines),
+//     while intra-warp compaction leaves it untouched.
+package interwarp
+
+import (
+	"intrawarp/internal/compaction"
+	"intrawarp/internal/mask"
+)
+
+// Step is one dynamic instruction of one warp: its execution mask and,
+// for memory instructions, the coalesced cache-line addresses it touches.
+type Step struct {
+	Mask  mask.Mask
+	Lines []uint32
+}
+
+// Stream is one warp's dynamic instruction sequence.
+type Stream []Step
+
+// Result compares compaction schemes over a set of streams.
+type Result struct {
+	Steps int // aligned dynamic instruction slots
+
+	// Execution cycles over all warps and steps.
+	BaselineCycles int64 // no compaction: every live warp pays full width
+	SCCCycles      int64 // intra-warp swizzled compression per warp
+	TBCCycles      int64 // idealized inter-warp compaction across warps
+
+	// Memory divergence: total distinct cache-line requests.
+	BaselineLines int64 // per-warp coalescing (intra-warp schemes keep this)
+	TBCLines      int64 // per-compacted-warp coalescing (union of sources)
+
+	// Warp-instruction issue counts, for per-warp divergence metrics.
+	BaselineWarpInstrs int64
+	TBCWarpInstrs      int64
+}
+
+// SCCReduction returns the intra-warp SCC cycle reduction vs baseline.
+func (r *Result) SCCReduction() float64 {
+	return compaction.Reduction(r.BaselineCycles, r.SCCCycles)
+}
+
+// TBCReduction returns the idealized inter-warp cycle reduction vs
+// baseline.
+func (r *Result) TBCReduction() float64 {
+	return compaction.Reduction(r.BaselineCycles, r.TBCCycles)
+}
+
+// MemoryInflation returns the relative growth of total distinct line
+// requests under inter-warp regrouping. It can dip below 1.0 when merged
+// warps share cache lines; see PerWarpDivergence for the paper's claim.
+func (r *Result) MemoryInflation() float64 {
+	if r.BaselineLines == 0 {
+		return 1
+	}
+	return float64(r.TBCLines) / float64(r.BaselineLines)
+}
+
+// PerWarpDivergence returns the growth in distinct cache lines *per
+// issued warp instruction* — the paper's memory-divergence concern: a
+// compacted warp's memory instruction fans out to the union of its source
+// warps' lines, so each issued access touches more lines and stalls
+// longer. Intra-warp schemes hold this at exactly 1.0.
+func (r *Result) PerWarpDivergence() float64 {
+	if r.BaselineWarpInstrs == 0 || r.TBCWarpInstrs == 0 || r.BaselineLines == 0 {
+		return 1
+	}
+	base := float64(r.BaselineLines) / float64(r.BaselineWarpInstrs)
+	tbc := float64(r.TBCLines) / float64(r.TBCWarpInstrs)
+	return tbc / base
+}
+
+// Compact analyzes the streams of one thread block's warps, aligned by
+// dynamic instruction index, for SIMD width `width` and element group
+// size `group`.
+func Compact(streams []Stream, width, group int) *Result {
+	res := &Result{}
+	maxLen := 0
+	for _, s := range streams {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	res.Steps = maxLen
+	warpCycles := width / group
+	if warpCycles < 1 {
+		warpCycles = 1
+	}
+
+	laneCount := make([]int, width)
+	for i := 0; i < maxLen; i++ {
+		for l := range laneCount {
+			laneCount[l] = 0
+		}
+		// Per-warp accounting plus lane occupancy for TBC.
+		live := 0
+		var contributors []int
+		for w, s := range streams {
+			if i >= len(s) {
+				continue
+			}
+			st := s[i]
+			live++
+			res.BaselineCycles += int64(warpCycles)
+			res.BaselineWarpInstrs++
+			res.SCCCycles += int64(compaction.SCC.Cycles(st.Mask, width, group))
+			res.BaselineLines += int64(len(st.Lines))
+			if st.Mask != 0 {
+				contributors = append(contributors, w)
+				for _, l := range st.Mask.Trunc(width).Lanes() {
+					laneCount[l]++
+				}
+			}
+		}
+		if live == 0 {
+			continue
+		}
+		// Compacted warp count = max lane occupancy.
+		compacted := 0
+		for _, c := range laneCount {
+			if c > compacted {
+				compacted = c
+			}
+		}
+		if compacted == 0 && live > 0 {
+			compacted = 1 // an all-off slot still issues once
+		}
+		res.TBCCycles += int64(compacted * warpCycles)
+		res.TBCWarpInstrs += int64(compacted)
+
+		// Memory: compacted warp k holds, per lane, the k-th active
+		// source warp's work-item; its requests are the union of the
+		// contributing warps' line sets restricted to the lanes it took.
+		// We bound it per compacted warp by the union of lines of every
+		// source warp contributing at least one lane to it.
+		if len(contributors) > 0 {
+			res.TBCLines += tbcLines(streams, contributors, i, width, compacted)
+		}
+	}
+	return res
+}
+
+// tbcLines computes the distinct-line total of the compacted warps formed
+// at step i.
+func tbcLines(streams []Stream, contributors []int, i, width, compacted int) int64 {
+	if compacted == 0 {
+		return 0
+	}
+	// Assignment: for each lane, the k-th active contributor (in warp
+	// order) goes to compacted warp k. A compacted warp's line set is the
+	// union of the line sets of the source warps it draws from.
+	memberOf := make([]map[int]bool, compacted)
+	for k := range memberOf {
+		memberOf[k] = make(map[int]bool)
+	}
+	for l := 0; l < width; l++ {
+		k := 0
+		for _, w := range contributors {
+			if streams[w][i].Mask.Lane(l) {
+				memberOf[k][w] = true
+				k++
+			}
+		}
+	}
+	var total int64
+	for k := range memberOf {
+		lines := make(map[uint32]bool)
+		for w := range memberOf[k] {
+			for _, ln := range streams[w][i].Lines {
+				lines[ln] = true
+			}
+		}
+		total += int64(len(lines))
+	}
+	return total
+}

@@ -1,0 +1,131 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary program encoding. Each instruction is serialized to a fixed 32-byte
+// record (roughly half the native ISA's 64-byte uncompacted form, since we
+// only support stride-0/1 regions). The format exists so kernels can be
+// stored, diffed, and replayed, and so the instruction stream has a concrete
+// footprint for the front-end (prefetch) model.
+
+const (
+	// EncodedSize is the size in bytes of one encoded instruction.
+	EncodedSize  = 32
+	programMagic = 0x53494D44 // "SIMD"
+)
+
+func encodeOperand(b []byte, o Operand) {
+	b[0] = byte(o.Kind)
+	b[1] = o.Reg
+	b[2] = o.Sub
+	// Immediates need 8 bytes; they are stored in the shared imm slot by
+	// EncodeTo, so nothing further is stored here.
+}
+
+func decodeOperand(b []byte) Operand {
+	return Operand{Kind: RegKind(b[0]), Reg: b[1], Sub: b[2]}
+}
+
+// EncodeTo writes the 32-byte record for one instruction.
+func (in *Instruction) EncodeTo(b []byte) {
+	if len(b) < EncodedSize {
+		panic("isa: encode buffer too small")
+	}
+	b[0] = byte(in.Op)
+	b[1] = byte(in.Width)
+	b[2] = byte(in.DType)
+	b[3] = byte(in.Pred)<<4 | byte(in.Flag)
+	b[4] = byte(in.Cond)
+	b[5] = byte(in.Send)
+	encodeOperand(b[6:9], in.Dst)
+	encodeOperand(b[9:12], in.Src0)
+	encodeOperand(b[12:15], in.Src1)
+	encodeOperand(b[15:18], in.Src2)
+	binary.LittleEndian.PutUint32(b[18:22], uint32(in.JumpTarget))
+	// One 64-bit immediate slot: the first immediate operand wins. Our
+	// builder never emits two immediates in one instruction.
+	var imm uint64
+	for _, o := range []Operand{in.Src0, in.Src1, in.Src2} {
+		if o.Kind == RegImm {
+			imm = o.Imm
+			break
+		}
+	}
+	binary.LittleEndian.PutUint64(b[22:30], imm)
+	b[30], b[31] = 0, 0
+}
+
+// DecodeFrom parses a 32-byte record into the instruction, replacing all
+// fields except Comment.
+func (in *Instruction) DecodeFrom(b []byte) error {
+	if len(b) < EncodedSize {
+		return fmt.Errorf("isa: decode buffer too small: %d bytes", len(b))
+	}
+	in.Op = Opcode(b[0])
+	in.Width = Width(b[1])
+	in.DType = DataType(b[2])
+	in.Pred = PredMode(b[3] >> 4)
+	in.Flag = FlagReg(b[3] & 0xF)
+	in.Cond = CondMod(b[4])
+	in.Send = SendOp(b[5])
+	in.Dst = decodeOperand(b[6:9])
+	in.Src0 = decodeOperand(b[9:12])
+	in.Src1 = decodeOperand(b[12:15])
+	in.Src2 = decodeOperand(b[15:18])
+	in.JumpTarget = int32(binary.LittleEndian.Uint32(b[18:22]))
+	imm := binary.LittleEndian.Uint64(b[22:30])
+	for _, o := range []*Operand{&in.Src0, &in.Src1, &in.Src2} {
+		if o.Kind == RegImm {
+			o.Imm = imm
+			break
+		}
+	}
+	return nil
+}
+
+// Encode serializes the program with a small header.
+func (p Program) Encode() []byte {
+	var buf bytes.Buffer
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], programMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(p)))
+	buf.Write(hdr[:])
+	var rec [EncodedSize]byte
+	for i := range p {
+		p[i].EncodeTo(rec[:])
+		buf.Write(rec[:])
+	}
+	return buf.Bytes()
+}
+
+// DecodeProgram parses a serialized program.
+func DecodeProgram(r io.Reader) (Program, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("isa: reading program header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != programMagic {
+		return nil, fmt.Errorf("isa: bad program magic")
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	const maxProgram = 1 << 22
+	if n > maxProgram {
+		return nil, fmt.Errorf("isa: program too large: %d instructions", n)
+	}
+	p := make(Program, n)
+	var rec [EncodedSize]byte
+	for i := range p {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return nil, fmt.Errorf("isa: reading instruction %d: %w", i, err)
+		}
+		if err := p[i].DecodeFrom(rec[:]); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,11 @@
+package isa
+
+import "math"
+
+func f32bits(v float32) uint32 { return math.Float32bits(v) }
+
+// F32FromBits converts raw 32-bit storage into a float32 value.
+func F32FromBits(b uint32) float32 { return math.Float32frombits(b) }
+
+// F32ToBits converts a float32 value into raw 32-bit storage.
+func F32ToBits(v float32) uint32 { return math.Float32bits(v) }

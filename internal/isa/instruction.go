@@ -1,0 +1,251 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RegKind discriminates operand addressing modes.
+type RegKind uint8
+
+// Operand kinds.
+const (
+	RegNull   RegKind = iota // absent operand
+	RegGRF                   // general register file operand
+	RegImm                   // immediate (value in Operand.Imm, raw bits)
+	RegScalar                // GRF operand read with stride 0 (lane 0 value broadcast)
+)
+
+// Operand describes one instruction operand.
+//
+// A RegGRF operand of an instruction with width W and element size S covers
+// W*S contiguous bytes of the GRF starting at register Reg, byte offset Sub
+// — exactly the Gen register-region model restricted to stride-1 regions.
+// A RegScalar operand reads S bytes at (Reg, Sub) and broadcasts them to all
+// lanes.
+type Operand struct {
+	Kind RegKind
+	Reg  uint8  // GRF register number, 0..127
+	Sub  uint8  // byte offset within the register, 0..31
+	Imm  uint64 // immediate raw bits when Kind == RegImm
+}
+
+// Null is the absent operand.
+var Null = Operand{Kind: RegNull}
+
+// GRF returns a stride-1 GRF operand starting at register r.
+func GRF(r int) Operand { return Operand{Kind: RegGRF, Reg: uint8(r)} }
+
+// GRFSub returns a stride-1 GRF operand starting at register r, byte sub.
+func GRFSub(r, sub int) Operand { return Operand{Kind: RegGRF, Reg: uint8(r), Sub: uint8(sub)} }
+
+// Scalar returns a broadcast operand reading element 0 at register r, byte
+// offset sub.
+func Scalar(r, sub int) Operand { return Operand{Kind: RegScalar, Reg: uint8(r), Sub: uint8(sub)} }
+
+// ImmF32 returns a 32-bit float immediate operand.
+func ImmF32(v float32) Operand {
+	return Operand{Kind: RegImm, Imm: uint64(f32bits(v))}
+}
+
+// ImmU32 returns a 32-bit unsigned immediate operand.
+func ImmU32(v uint32) Operand { return Operand{Kind: RegImm, Imm: uint64(v)} }
+
+// ImmS32 returns a 32-bit signed immediate operand.
+func ImmS32(v int32) Operand { return Operand{Kind: RegImm, Imm: uint64(uint32(v))} }
+
+// ByteOffset returns the absolute GRF byte address of the operand origin.
+func (o Operand) ByteOffset() int { return int(o.Reg)*32 + int(o.Sub) }
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case RegNull:
+		return "null"
+	case RegImm:
+		return fmt.Sprintf("#%#x", o.Imm)
+	case RegScalar:
+		return fmt.Sprintf("r%d.%d<0>", o.Reg, o.Sub)
+	default:
+		if o.Sub != 0 {
+			return fmt.Sprintf("r%d.%d", o.Reg, o.Sub)
+		}
+		return fmt.Sprintf("r%d", o.Reg)
+	}
+}
+
+// Instruction is one decoded EU instruction.
+type Instruction struct {
+	Op    Opcode
+	Width Width
+	DType DataType
+
+	Dst  Operand
+	Src0 Operand
+	Src1 Operand
+	Src2 Operand
+
+	// Predication: when Pred != PredNone the instruction's execution mask
+	// is further ANDed with (or ANDed with the complement of) flag Flag.
+	Pred PredMode
+	Flag FlagReg
+
+	// Cond is the comparison condition for OpCmp; OpCmp writes its result
+	// into flag register Flag.
+	Cond CondMod
+
+	// Send describes the memory operation for OpSend.
+	Send SendOp
+
+	// JumpTarget is the absolute instruction index this control-flow
+	// instruction may transfer to: for OpIf the matching ELSE/ENDIF+? slot
+	// used when no lane takes the IF; for OpElse the matching ENDIF; for
+	// OpWhile the instruction after the matching OpLoop.
+	JumpTarget int32
+
+	// Comment is an optional assembly annotation used in disassembly.
+	Comment string
+}
+
+// NumSources returns how many source operands the opcode consumes.
+func (in *Instruction) NumSources() int {
+	switch in.Op {
+	case OpNop, OpEndIf, OpLoop, OpHalt, OpBarrier, OpFence, OpElse:
+		return 0
+	case OpMov, OpNot, OpAbs, OpFrc, OpFlr, OpCvt, OpSqrt, OpRsqrt, OpInv,
+		OpSin, OpCos, OpExp, OpLog, OpIf, OpWhile, OpBreak, OpCont:
+		if in.Src0.Kind == RegNull {
+			return 0
+		}
+		return 1
+	case OpMad:
+		return 3
+	case OpSel:
+		return 2
+	case OpSend:
+		if in.Src1.Kind != RegNull {
+			return 2
+		}
+		return 1
+	default:
+		return 2
+	}
+}
+
+// String renders a readable disassembly line.
+func (in *Instruction) String() string {
+	var b strings.Builder
+	switch in.Pred {
+	case PredNorm:
+		fmt.Fprintf(&b, "(+f%d) ", in.Flag)
+	case PredInv:
+		fmt.Fprintf(&b, "(-f%d) ", in.Flag)
+	}
+	b.WriteString(in.Op.String())
+	if in.Op == OpCmp {
+		fmt.Fprintf(&b, ".%s.f%d", in.Cond, in.Flag)
+	}
+	if in.Op == OpSel {
+		fmt.Fprintf(&b, ".f%d", in.Flag)
+	}
+	if in.Op == OpSend {
+		fmt.Fprintf(&b, ".%s", in.Send)
+	}
+	fmt.Fprintf(&b, "(%d)", int(in.Width))
+	if in.DType != F32 {
+		fmt.Fprintf(&b, ":%s", in.DType)
+	}
+	ops := make([]string, 0, 4)
+	if in.Dst.Kind != RegNull {
+		ops = append(ops, in.Dst.String())
+	}
+	for _, s := range []Operand{in.Src0, in.Src1, in.Src2} {
+		if s.Kind != RegNull {
+			ops = append(ops, s.String())
+		}
+	}
+	if len(ops) > 0 {
+		b.WriteByte(' ')
+		b.WriteString(strings.Join(ops, ", "))
+	}
+	if IsControl(in.Op) && in.JumpTarget != 0 {
+		fmt.Fprintf(&b, " ->%d", in.JumpTarget)
+	}
+	if in.Comment != "" {
+		b.WriteString(" ; " + in.Comment)
+	}
+	return b.String()
+}
+
+// Program is an ordered list of instructions forming a kernel body.
+type Program []Instruction
+
+// Disassemble renders the whole program with instruction indices.
+func (p Program) Disassemble() string {
+	var b strings.Builder
+	for i := range p {
+		fmt.Fprintf(&b, "%4d: %s\n", i, p[i].String())
+	}
+	return b.String()
+}
+
+// Validate performs static checks: operand register ranges, control-flow
+// target ranges, and structured nesting of IF/ENDIF and LOOP/WHILE.
+func (p Program) Validate() error {
+	type frame struct {
+		op Opcode
+		at int
+	}
+	var stack []frame
+	for i := range p {
+		in := &p[i]
+		for _, o := range []Operand{in.Dst, in.Src0, in.Src1, in.Src2} {
+			if o.Kind == RegGRF || o.Kind == RegScalar {
+				if int(o.Reg) > 127 {
+					return fmt.Errorf("isa: instruction %d: register r%d out of range", i, o.Reg)
+				}
+			}
+		}
+		if IsControl(in.Op) && in.Op != OpHalt && in.Op != OpBreak && in.Op != OpCont && in.Op != OpEndIf && in.Op != OpLoop {
+			if in.JumpTarget < 0 || int(in.JumpTarget) > len(p) {
+				return fmt.Errorf("isa: instruction %d (%s): jump target %d out of range", i, in.Op, in.JumpTarget)
+			}
+		}
+		switch in.Op {
+		case OpIf:
+			stack = append(stack, frame{OpIf, i})
+		case OpElse:
+			if len(stack) == 0 || stack[len(stack)-1].op != OpIf {
+				return fmt.Errorf("isa: instruction %d: ELSE without IF", i)
+			}
+		case OpEndIf:
+			if len(stack) == 0 || stack[len(stack)-1].op != OpIf {
+				return fmt.Errorf("isa: instruction %d: ENDIF without IF", i)
+			}
+			stack = stack[:len(stack)-1]
+		case OpLoop:
+			stack = append(stack, frame{OpLoop, i})
+		case OpWhile:
+			if len(stack) == 0 || stack[len(stack)-1].op != OpLoop {
+				return fmt.Errorf("isa: instruction %d: WHILE without LOOP", i)
+			}
+			stack = stack[:len(stack)-1]
+		case OpBreak, OpCont:
+			ok := false
+			for _, f := range stack {
+				if f.op == OpLoop {
+					ok = true
+				}
+			}
+			if !ok {
+				return fmt.Errorf("isa: instruction %d: %s outside LOOP", i, in.Op)
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("isa: unbalanced control flow: %d unclosed blocks", len(stack))
+	}
+	if len(p) == 0 || p[len(p)-1].Op != OpHalt {
+		return fmt.Errorf("isa: program must end with HALT")
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+// Package isa defines the variable-width SIMD instruction set of the
+// simulated GPU, loosely modeled on Intel Gen (Ivy Bridge) EU ISA: SIMD
+// widths of 1/4/8/16/32 lanes, a 128-register × 256-bit general register
+// file per hardware thread, per-lane predication, structured control-flow
+// divergence (IF/ELSE/ENDIF, LOOP/WHILE with BREAK/CONT), and SEND-style
+// memory instructions handled by a separate pipe.
+package isa
+
+import "fmt"
+
+// Width is a SIMD execution width in lanes.
+type Width uint8
+
+// Supported SIMD execution widths.
+const (
+	SIMD1  Width = 1
+	SIMD4  Width = 4
+	SIMD8  Width = 8
+	SIMD16 Width = 16
+	SIMD32 Width = 32
+)
+
+// Lanes returns the width as an int lane count.
+func (w Width) Lanes() int { return int(w) }
+
+func (w Width) String() string { return fmt.Sprintf("SIMD%d", int(w)) }
+
+// DataType identifies the operand element type of an instruction. It
+// determines both functional interpretation and the number of lanes the
+// 128-bit-per-cycle execution datapath retires per cycle.
+type DataType uint8
+
+// Operand element types.
+const (
+	F32 DataType = iota // 32-bit IEEE float
+	S32                 // 32-bit signed integer
+	U32                 // 32-bit unsigned integer
+	F64                 // 64-bit IEEE float (2 lanes/cycle on the 4-wide ALU)
+	U64                 // 64-bit unsigned integer
+	F16                 // 16-bit float (timing only; 8 lanes/cycle)
+	U16                 // 16-bit unsigned integer
+)
+
+// Size returns the element size in bytes.
+func (d DataType) Size() int {
+	switch d {
+	case F64, U64:
+		return 8
+	case F16, U16:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// GroupSize returns how many lanes of this type the 128-bit execution
+// datapath retires per cycle: 16 bytes / element size.
+func (d DataType) GroupSize() int { return 16 / d.Size() }
+
+func (d DataType) String() string {
+	switch d {
+	case F32:
+		return "f32"
+	case S32:
+		return "s32"
+	case U32:
+		return "u32"
+	case F64:
+		return "f64"
+	case U64:
+		return "u64"
+	case F16:
+		return "f16"
+	case U16:
+		return "u16"
+	}
+	return fmt.Sprintf("dtype(%d)", uint8(d))
+}
+
+// Opcode identifies an instruction's operation.
+type Opcode uint8
+
+// Opcodes. The comment marks the execution pipe: FPU (main ALU), EM
+// (extended math), CTRL (control flow, executed on the FPU pipe), or SEND
+// (memory/barrier pipe).
+const (
+	OpNop Opcode = iota // FPU
+
+	// Moves and logic (FPU).
+	OpMov // dst = src0
+	OpSel // dst = pred ? src0 : src1 (per-lane select on flag)
+	OpNot // dst = ^src0
+	OpAnd // dst = src0 & src1
+	OpOr  // dst = src0 | src1
+	OpXor // dst = src0 ^ src1
+	OpShl // dst = src0 << src1
+	OpShr // dst = src0 >> src1 (logical)
+	OpAsr // dst = src0 >> src1 (arithmetic)
+
+	// Arithmetic (FPU).
+	OpAdd // dst = src0 + src1
+	OpSub // dst = src0 - src1
+	OpMul // dst = src0 * src1
+	OpMad // dst = src0*src1 + src2 (FMA; 3r-1w)
+	OpMin // dst = min(src0, src1)
+	OpMax // dst = max(src0, src1)
+	OpAbs // dst = |src0|
+	OpFrc // dst = src0 - floor(src0)
+	OpFlr // dst = floor(src0)
+	OpCvt // dst = convert src0 between F32 and S32/U32 (dst type = DType)
+
+	// Comparison: writes per-lane result into a flag register (FPU).
+	OpCmp
+
+	// Extended math (EM pipe).
+	OpDiv
+	OpSqrt
+	OpRsqrt
+	OpInv // reciprocal
+	OpSin
+	OpCos
+	OpExp // base-2 exponent
+	OpLog // base-2 logarithm
+	OpPow
+
+	// Structured control flow (CTRL, executes on FPU pipe).
+	OpIf    // push mask, keep lanes where flag true; jump to JumpTarget when none
+	OpElse  // invert within enclosing IF; jump target is the ENDIF
+	OpEndIf // pop mask
+	OpLoop  // push loop context
+	OpBreak // disable lanes (where flag true, or all active if unpredicated) until loop exit
+	OpCont  // disable lanes until the WHILE of the current iteration
+	OpWhile // lanes with flag true iterate again: jump back to JumpTarget
+	OpHalt  // end of thread (EOT)
+
+	// Memory and synchronization (SEND pipe).
+	OpSend    // memory operation described by SendOp
+	OpBarrier // workgroup barrier
+	OpFence   // memory fence (modeled as a SEND with no data)
+)
+
+// String returns the assembler mnemonic.
+func (o Opcode) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+var opNames = [...]string{
+	OpNop: "nop", OpMov: "mov", OpSel: "sel", OpNot: "not", OpAnd: "and",
+	OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr", OpAsr: "asr",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpMad: "mad", OpMin: "min",
+	OpMax: "max", OpAbs: "abs", OpFrc: "frc", OpFlr: "flr", OpCvt: "cvt",
+	OpCmp: "cmp", OpDiv: "div", OpSqrt: "sqrt", OpRsqrt: "rsqrt",
+	OpInv: "inv", OpSin: "sin", OpCos: "cos", OpExp: "exp", OpLog: "log",
+	OpPow: "pow", OpIf: "if", OpElse: "else", OpEndIf: "endif",
+	OpLoop: "loop", OpBreak: "break", OpCont: "cont", OpWhile: "while",
+	OpHalt: "halt", OpSend: "send", OpBarrier: "barrier", OpFence: "fence",
+}
+
+// Pipe identifies the execution pipe an instruction issues to.
+type Pipe uint8
+
+// Execution pipes.
+const (
+	PipeFPU  Pipe = iota // main 4-wide FP/int ALU
+	PipeEM               // extended math unit
+	PipeSend             // memory / barrier pipe
+)
+
+func (p Pipe) String() string {
+	switch p {
+	case PipeFPU:
+		return "fpu"
+	case PipeEM:
+		return "em"
+	case PipeSend:
+		return "send"
+	}
+	return fmt.Sprintf("pipe(%d)", uint8(p))
+}
+
+// PipeOf returns the pipe an opcode issues to.
+func PipeOf(op Opcode) Pipe {
+	switch op {
+	case OpDiv, OpSqrt, OpRsqrt, OpInv, OpSin, OpCos, OpExp, OpLog, OpPow:
+		return PipeEM
+	case OpSend, OpBarrier, OpFence:
+		return PipeSend
+	default:
+		return PipeFPU
+	}
+}
+
+// IsControl reports whether an opcode manipulates the divergence mask stack
+// or thread liveness rather than computing data.
+func IsControl(op Opcode) bool {
+	switch op {
+	case OpIf, OpElse, OpEndIf, OpLoop, OpBreak, OpCont, OpWhile, OpHalt:
+		return true
+	}
+	return false
+}
+
+// CondMod is the comparison condition for OpCmp.
+type CondMod uint8
+
+// Comparison conditions.
+const (
+	CmpEQ CondMod = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+func (c CondMod) String() string {
+	switch c {
+	case CmpEQ:
+		return "eq"
+	case CmpNE:
+		return "ne"
+	case CmpLT:
+		return "lt"
+	case CmpLE:
+		return "le"
+	case CmpGT:
+		return "gt"
+	case CmpGE:
+		return "ge"
+	}
+	return fmt.Sprintf("cmp(%d)", uint8(c))
+}
+
+// FlagReg selects one of the two per-thread flag registers.
+type FlagReg uint8
+
+// Flag registers.
+const (
+	F0 FlagReg = 0
+	F1 FlagReg = 1
+)
+
+// PredMode controls instruction predication on a flag register.
+type PredMode uint8
+
+// Predication modes.
+const (
+	PredNone PredMode = iota // unpredicated: use current execution mask
+	PredNorm                 // enabled where flag bit is 1
+	PredInv                  // enabled where flag bit is 0
+)
+
+// SendOp describes the memory operation of an OpSend instruction.
+type SendOp uint8
+
+// SEND message kinds.
+const (
+	SendNone         SendOp = iota
+	SendLoadGather          // per-lane 32-bit load, per-lane byte address in Src0
+	SendStoreScatter        // per-lane 32-bit store, address in Src0, data in Src1
+	SendLoadBlock           // contiguous load: lane i loads from base + 4*i; scalar base in Src0 lane 0
+	SendStoreBlock          // contiguous store: lane i stores to base + 4*i
+	SendLoadSLM             // per-lane load from shared local memory
+	SendStoreSLM            // per-lane store to shared local memory
+	SendAtomicAdd           // per-lane atomic add to global memory; returns old value
+	SendAtomicMin           // per-lane atomic min (unsigned) to global memory
+)
+
+func (s SendOp) String() string {
+	switch s {
+	case SendLoadGather:
+		return "ld.gather"
+	case SendStoreScatter:
+		return "st.scatter"
+	case SendLoadBlock:
+		return "ld.block"
+	case SendStoreBlock:
+		return "st.block"
+	case SendLoadSLM:
+		return "ld.slm"
+	case SendStoreSLM:
+		return "st.slm"
+	case SendAtomicAdd:
+		return "atomic.add"
+	case SendAtomicMin:
+		return "atomic.min"
+	}
+	return "send.none"
+}
+
+// IsLoad reports whether the send returns data to the GRF.
+func (s SendOp) IsLoad() bool {
+	switch s {
+	case SendLoadGather, SendLoadBlock, SendLoadSLM, SendAtomicAdd, SendAtomicMin:
+		return true
+	}
+	return false
+}
+
+// IsSLM reports whether the send targets shared local memory.
+func (s SendOp) IsSLM() bool { return s == SendLoadSLM || s == SendStoreSLM }

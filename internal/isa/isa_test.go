@@ -1,0 +1,244 @@
+package isa
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDataTypeSizes(t *testing.T) {
+	cases := []struct {
+		d     DataType
+		size  int
+		group int
+	}{
+		{F32, 4, 4}, {S32, 4, 4}, {U32, 4, 4},
+		{F64, 8, 2}, {U64, 8, 2},
+		{F16, 2, 8}, {U16, 2, 8},
+	}
+	for _, c := range cases {
+		if c.d.Size() != c.size {
+			t.Errorf("%s.Size() = %d, want %d", c.d, c.d.Size(), c.size)
+		}
+		if c.d.GroupSize() != c.group {
+			t.Errorf("%s.GroupSize() = %d, want %d", c.d, c.d.GroupSize(), c.group)
+		}
+	}
+}
+
+func TestPipeOf(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		pipe Pipe
+	}{
+		{OpAdd, PipeFPU}, {OpMad, PipeFPU}, {OpCmp, PipeFPU},
+		{OpIf, PipeFPU}, {OpWhile, PipeFPU},
+		{OpSqrt, PipeEM}, {OpDiv, PipeEM}, {OpSin, PipeEM}, {OpRsqrt, PipeEM},
+		{OpSend, PipeSend}, {OpBarrier, PipeSend}, {OpFence, PipeSend},
+	}
+	for _, c := range cases {
+		if got := PipeOf(c.op); got != c.pipe {
+			t.Errorf("PipeOf(%s) = %s, want %s", c.op, got, c.pipe)
+		}
+	}
+}
+
+func TestIsControl(t *testing.T) {
+	for _, op := range []Opcode{OpIf, OpElse, OpEndIf, OpLoop, OpBreak, OpCont, OpWhile, OpHalt} {
+		if !IsControl(op) {
+			t.Errorf("IsControl(%s) = false, want true", op)
+		}
+	}
+	for _, op := range []Opcode{OpAdd, OpSend, OpCmp, OpBarrier} {
+		if IsControl(op) {
+			t.Errorf("IsControl(%s) = true, want false", op)
+		}
+	}
+}
+
+func TestOperandConstructors(t *testing.T) {
+	g := GRF(12)
+	if g.Kind != RegGRF || g.Reg != 12 || g.Sub != 0 {
+		t.Errorf("GRF(12) = %+v", g)
+	}
+	s := Scalar(0, 8)
+	if s.Kind != RegScalar || s.Reg != 0 || s.Sub != 8 {
+		t.Errorf("Scalar(0,8) = %+v", s)
+	}
+	if s.ByteOffset() != 8 {
+		t.Errorf("Scalar(0,8).ByteOffset() = %d", s.ByteOffset())
+	}
+	if GRFSub(2, 16).ByteOffset() != 80 {
+		t.Errorf("GRFSub(2,16).ByteOffset() = %d", GRFSub(2, 16).ByteOffset())
+	}
+	f := ImmF32(1.5)
+	if F32FromBits(uint32(f.Imm)) != 1.5 {
+		t.Errorf("ImmF32 round trip failed: %#x", f.Imm)
+	}
+	i := ImmS32(-7)
+	if int32(uint32(i.Imm)) != -7 {
+		t.Errorf("ImmS32 round trip failed: %#x", i.Imm)
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	in := Instruction{
+		Op: OpAdd, Width: SIMD16, DType: F32,
+		Dst: GRF(12), Src0: GRF(8), Src1: GRF(10),
+	}
+	s := in.String()
+	if !strings.Contains(s, "add(16)") || !strings.Contains(s, "r12") {
+		t.Errorf("unexpected disassembly %q", s)
+	}
+	cmp := Instruction{Op: OpCmp, Width: SIMD8, DType: F32, Cond: CmpLT, Flag: F1,
+		Src0: GRF(4), Src1: ImmF32(0)}
+	if !strings.Contains(cmp.String(), "cmp.lt.f1(8)") {
+		t.Errorf("unexpected cmp disassembly %q", cmp.String())
+	}
+	pred := Instruction{Op: OpMov, Width: SIMD8, Pred: PredInv, Flag: F0,
+		Dst: GRF(2), Src0: GRF(3)}
+	if !strings.HasPrefix(pred.String(), "(-f0) ") {
+		t.Errorf("unexpected predicated disassembly %q", pred.String())
+	}
+}
+
+func validProgram() Program {
+	return Program{
+		{Op: OpCmp, Width: SIMD16, Cond: CmpLT, Src0: GRF(4), Src1: ImmF32(1)},
+		{Op: OpIf, Width: SIMD16, Pred: PredNorm, JumpTarget: 4},
+		{Op: OpAdd, Width: SIMD16, Dst: GRF(6), Src0: GRF(6), Src1: ImmF32(2)},
+		{Op: OpElse, Width: SIMD16, JumpTarget: 5},
+		{Op: OpMov, Width: SIMD16, Dst: GRF(6), Src0: ImmF32(0)},
+		{Op: OpEndIf, Width: SIMD16},
+		{Op: OpHalt, Width: SIMD16},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validProgram().Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	noHalt := Program{{Op: OpNop, Width: SIMD8}}
+	if err := noHalt.Validate(); err == nil {
+		t.Error("program without HALT accepted")
+	}
+	orphanElse := Program{{Op: OpElse, Width: SIMD8}, {Op: OpHalt, Width: SIMD8}}
+	if err := orphanElse.Validate(); err == nil {
+		t.Error("orphan ELSE accepted")
+	}
+	orphanEnd := Program{{Op: OpEndIf, Width: SIMD8}, {Op: OpHalt, Width: SIMD8}}
+	if err := orphanEnd.Validate(); err == nil {
+		t.Error("orphan ENDIF accepted")
+	}
+	unclosed := Program{{Op: OpIf, Width: SIMD8, JumpTarget: 1}, {Op: OpHalt, Width: SIMD8}}
+	if err := unclosed.Validate(); err == nil {
+		t.Error("unclosed IF accepted")
+	}
+	breakOutside := Program{{Op: OpBreak, Width: SIMD8}, {Op: OpHalt, Width: SIMD8}}
+	if err := breakOutside.Validate(); err == nil {
+		t.Error("BREAK outside LOOP accepted")
+	}
+	whileNoLoop := Program{{Op: OpWhile, Width: SIMD8, JumpTarget: 0}, {Op: OpHalt, Width: SIMD8}}
+	if err := whileNoLoop.Validate(); err == nil {
+		t.Error("WHILE without LOOP accepted")
+	}
+	badTarget := Program{{Op: OpIf, Width: SIMD8, JumpTarget: 99}, {Op: OpEndIf, Width: SIMD8}, {Op: OpHalt, Width: SIMD8}}
+	if err := badTarget.Validate(); err == nil {
+		t.Error("out-of-range jump target accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := validProgram()
+	enc := p.Encode()
+	got, err := DecodeProgram(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatalf("DecodeProgram: %v", err)
+	}
+	if len(got) != len(p) {
+		t.Fatalf("decoded %d instructions, want %d", len(got), len(p))
+	}
+	for i := range p {
+		want := p[i]
+		want.Comment = ""
+		if got[i] != want {
+			t.Errorf("instruction %d: got %+v, want %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestDecodeProgramErrors(t *testing.T) {
+	if _, err := DecodeProgram(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	bad := make([]byte, 8)
+	if _, err := DecodeProgram(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Header claims one instruction but no body follows.
+	p := Program{}.Encode()
+	p[4] = 1
+	if _, err := DecodeProgram(bytes.NewReader(p)); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+// Property: instruction encode/decode round-trips for arbitrary field
+// values drawn from the valid ranges.
+func TestEncodeRoundTripProperty(t *testing.T) {
+	f := func(op, w, d, pred, flag, cond, send uint8, dr, s0r, s1r uint8, jt int32, imm uint64) bool {
+		widths := []Width{SIMD1, SIMD4, SIMD8, SIMD16, SIMD32}
+		in := Instruction{
+			Op:         Opcode(op % 40),
+			Width:      widths[int(w)%len(widths)],
+			DType:      DataType(d % 7),
+			Pred:       PredMode(pred % 3),
+			Flag:       FlagReg(flag % 2),
+			Cond:       CondMod(cond % 6),
+			Send:       SendOp(send % 9),
+			Dst:        Operand{Kind: RegGRF, Reg: dr % 128},
+			Src0:       Operand{Kind: RegGRF, Reg: s0r % 128},
+			Src1:       Operand{Kind: RegImm, Imm: imm},
+			Src2:       Null,
+			JumpTarget: jt,
+		}
+		var rec [EncodedSize]byte
+		in.EncodeTo(rec[:])
+		var out Instruction
+		if err := out.DecodeFrom(rec[:]); err != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSendOpPredicates(t *testing.T) {
+	if !SendLoadGather.IsLoad() || !SendAtomicAdd.IsLoad() || !SendLoadSLM.IsLoad() {
+		t.Error("load sends must report IsLoad")
+	}
+	if SendStoreScatter.IsLoad() || SendStoreBlock.IsLoad() {
+		t.Error("store sends must not report IsLoad")
+	}
+	if !SendLoadSLM.IsSLM() || !SendStoreSLM.IsSLM() {
+		t.Error("SLM sends must report IsSLM")
+	}
+	if SendLoadGather.IsSLM() {
+		t.Error("global sends must not report IsSLM")
+	}
+}
+
+func TestF32Bits(t *testing.T) {
+	for _, v := range []float32{0, 1, -1, 3.25, float32(math.Inf(1))} {
+		if F32FromBits(F32ToBits(v)) != v {
+			t.Errorf("round trip failed for %v", v)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package isa
+
+import "fmt"
+
+// Kernel packages a program with its launch metadata: the compiled SIMD
+// width and the shared-local-memory footprint per workgroup.
+type Kernel struct {
+	Name     string
+	Program  Program
+	Width    Width
+	SLMBytes int
+}
+
+// Validate checks the kernel's program and metadata.
+func (k *Kernel) Validate() error {
+	if k.Width != SIMD1 && k.Width != SIMD4 && k.Width != SIMD8 && k.Width != SIMD16 && k.Width != SIMD32 {
+		return fmt.Errorf("isa: kernel %s: bad SIMD width %d", k.Name, k.Width)
+	}
+	if err := k.Program.Validate(); err != nil {
+		return fmt.Errorf("isa: kernel %s: %w", k.Name, err)
+	}
+	return nil
+}

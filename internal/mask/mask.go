@@ -1,0 +1,104 @@
+// Package mask implements SIMD execution-mask arithmetic shared by the
+// compaction engine, the EU pipeline, and the trace analyzer.
+//
+// An execution mask is a bit vector with one bit per SIMD channel (lane):
+// bit i set means lane i is enabled for the current instruction. The
+// studied architecture executes a SIMD instruction in "quads" — aligned
+// groups of lanes that flow through the hardware ALU together, one group
+// per execution cycle. For 32-bit datatypes on a 4-wide ALU the group size
+// is 4 (hence "quad"); 64-bit datatypes halve it and 16-bit datatypes
+// double it.
+package mask
+
+import "math/bits"
+
+// Mask is a SIMD execution mask for up to 32 lanes. Lane i is enabled when
+// bit i is set. Instructions narrower than 32 lanes use the low bits.
+type Mask uint32
+
+// Full returns the mask with the low width lanes enabled.
+func Full(width int) Mask {
+	if width >= 32 {
+		return ^Mask(0)
+	}
+	return Mask(1)<<uint(width) - 1
+}
+
+// PopCount reports the number of enabled lanes.
+func (m Mask) PopCount() int { return bits.OnesCount32(uint32(m)) }
+
+// Lane reports whether lane i is enabled.
+func (m Mask) Lane(i int) bool { return m&(1<<uint(i)) != 0 }
+
+// SetLane returns m with lane i enabled.
+func (m Mask) SetLane(i int) Mask { return m | 1<<uint(i) }
+
+// ClearLane returns m with lane i disabled.
+func (m Mask) ClearLane(i int) Mask { return m &^ (1 << uint(i)) }
+
+// Quad extracts execution group q of size group as a small mask in the low
+// bits. For group == 4, quad 0 covers lanes 0–3, quad 1 lanes 4–7, and so on.
+func (m Mask) Quad(q, group int) Mask {
+	return (m >> uint(q*group)) & Full(group)
+}
+
+// QuadCount returns the number of execution groups in an instruction of the
+// given width: ceil(width/group).
+func QuadCount(width, group int) int {
+	return (width + group - 1) / group
+}
+
+// ActiveQuads reports how many execution groups of the given width have at
+// least one enabled lane. This is the execution-cycle count under Basic
+// Cycle Compression before the 1-cycle minimum is applied.
+func (m Mask) ActiveQuads(width, group int) int {
+	n := 0
+	for q := 0; q < QuadCount(width, group); q++ {
+		if m.Quad(q, group) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// OptimalCycles returns ceil(popcount/group) clamped to the instruction's
+// lanes: the minimum number of execution cycles any compaction scheme can
+// achieve for this mask (Swizzled Cycle Compression reaches it).
+func (m Mask) OptimalCycles(width, group int) int {
+	p := (m & Full(width)).PopCount()
+	return (p + group - 1) / group
+}
+
+// UpperHalfOff reports whether all lanes in the upper half of a width-lane
+// instruction are disabled.
+func (m Mask) UpperHalfOff(width int) bool {
+	h := width / 2
+	return m&(Full(width)&^Full(h)) == 0
+}
+
+// LowerHalfOff reports whether all lanes in the lower half of a width-lane
+// instruction are disabled.
+func (m Mask) LowerHalfOff(width int) bool {
+	return m&Full(width/2) == 0
+}
+
+// Trunc returns the mask restricted to the low width lanes.
+func (m Mask) Trunc(width int) Mask { return m & Full(width) }
+
+// FirstLane returns the index of the lowest enabled lane, or -1 when the
+// mask is empty.
+func (m Mask) FirstLane() int {
+	if m == 0 {
+		return -1
+	}
+	return bits.TrailingZeros32(uint32(m))
+}
+
+// Lanes returns the indices of all enabled lanes in ascending order.
+func (m Mask) Lanes() []int {
+	out := make([]int, 0, m.PopCount())
+	for v := uint32(m); v != 0; v &= v - 1 {
+		out = append(out, bits.TrailingZeros32(v))
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package mask
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFull(t *testing.T) {
+	cases := []struct {
+		width int
+		want  Mask
+	}{
+		{1, 0x1}, {4, 0xF}, {8, 0xFF}, {16, 0xFFFF}, {32, 0xFFFFFFFF},
+	}
+	for _, c := range cases {
+		if got := Full(c.width); got != c.want {
+			t.Errorf("Full(%d) = %#x, want %#x", c.width, got, c.want)
+		}
+	}
+}
+
+func TestPopCountAndLanes(t *testing.T) {
+	m := Mask(0xF0F0)
+	if m.PopCount() != 8 {
+		t.Fatalf("PopCount(0xF0F0) = %d, want 8", m.PopCount())
+	}
+	want := []int{4, 5, 6, 7, 12, 13, 14, 15}
+	got := m.Lanes()
+	if len(got) != len(want) {
+		t.Fatalf("Lanes length = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Lanes[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLaneSetClear(t *testing.T) {
+	var m Mask
+	m = m.SetLane(3)
+	if !m.Lane(3) || m != 0x8 {
+		t.Fatalf("SetLane(3) = %#x", m)
+	}
+	m = m.ClearLane(3)
+	if m != 0 {
+		t.Fatalf("ClearLane(3) = %#x, want 0", m)
+	}
+}
+
+func TestQuad(t *testing.T) {
+	m := Mask(0xABCD)
+	if q := m.Quad(0, 4); q != 0xD {
+		t.Errorf("Quad(0) = %#x, want 0xD", q)
+	}
+	if q := m.Quad(3, 4); q != 0xA {
+		t.Errorf("Quad(3) = %#x, want 0xA", q)
+	}
+	// Group size 2: lanes 2-3 of 0b1101 are 0b11.
+	if q := Mask(0b1101).Quad(1, 2); q != 0b11 {
+		t.Errorf("Quad(1, group 2) = %#b, want 0b11", q)
+	}
+}
+
+func TestActiveQuads(t *testing.T) {
+	cases := []struct {
+		m     Mask
+		width int
+		group int
+		want  int
+	}{
+		{0xFFFF, 16, 4, 4},
+		{0xF0F0, 16, 4, 2},
+		{0x00FF, 16, 4, 2},
+		{0x0001, 16, 4, 1},
+		{0x0000, 16, 4, 0},
+		{0xAAAA, 16, 4, 4}, // one lane active in every quad
+		{0x00FF, 8, 4, 2},
+		{0x000F, 8, 4, 1},
+		{0xFFFF, 16, 2, 8},
+		{0x1111, 16, 8, 2},
+	}
+	for _, c := range cases {
+		if got := c.m.ActiveQuads(c.width, c.group); got != c.want {
+			t.Errorf("ActiveQuads(%#x, w=%d, g=%d) = %d, want %d", c.m, c.width, c.group, got, c.want)
+		}
+	}
+}
+
+func TestOptimalCycles(t *testing.T) {
+	cases := []struct {
+		m     Mask
+		width int
+		group int
+		want  int
+	}{
+		{0xFFFF, 16, 4, 4},
+		{0xAAAA, 16, 4, 2}, // 8 lanes -> 2 cycles
+		{0x0001, 16, 4, 1},
+		{0x0000, 16, 4, 0},
+		{0x8001, 16, 4, 1}, // 2 scattered lanes fit one cycle
+		{0xFFFF, 16, 2, 8},
+	}
+	for _, c := range cases {
+		if got := c.m.OptimalCycles(c.width, c.group); got != c.want {
+			t.Errorf("OptimalCycles(%#x) = %d, want %d", c.m, got, c.want)
+		}
+	}
+}
+
+func TestHalvesOff(t *testing.T) {
+	if !Mask(0x00FF).UpperHalfOff(16) {
+		t.Error("0x00FF should have upper half off for width 16")
+	}
+	if Mask(0x01FF).UpperHalfOff(16) {
+		t.Error("0x01FF should not have upper half off")
+	}
+	if !Mask(0xFF00).LowerHalfOff(16) {
+		t.Error("0xFF00 should have lower half off")
+	}
+	if Mask(0xFF01).LowerHalfOff(16) {
+		t.Error("0xFF01 should not have lower half off")
+	}
+	if !Mask(0x0C).UpperHalfOff(8) && Mask(0x0C).PopCount() == 2 {
+		t.Error("0x0C should have upper half off for width 8")
+	}
+}
+
+func TestFirstLane(t *testing.T) {
+	if Mask(0).FirstLane() != -1 {
+		t.Error("empty mask FirstLane should be -1")
+	}
+	if Mask(0x80).FirstLane() != 7 {
+		t.Error("FirstLane(0x80) should be 7")
+	}
+}
+
+// Property: for any mask and any width/group combination in use by the
+// architecture, optimal cycles never exceed active quads, and active quads
+// never exceed the total quad count.
+func TestCycleOrderingProperty(t *testing.T) {
+	f := func(raw uint32, wsel, gsel uint8) bool {
+		widths := []int{4, 8, 16, 32}
+		groups := []int{2, 4, 8}
+		w := widths[int(wsel)%len(widths)]
+		g := groups[int(gsel)%len(groups)]
+		m := Mask(raw).Trunc(w)
+		opt := m.OptimalCycles(w, g)
+		aq := m.ActiveQuads(w, g)
+		return opt <= aq && aq <= QuadCount(w, g) && (m != 0) == (opt > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Lanes() round-trips with SetLane and matches PopCount.
+func TestLanesRoundTripProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		m := Mask(raw)
+		var rebuilt Mask
+		for _, l := range m.Lanes() {
+			rebuilt = rebuilt.SetLane(l)
+		}
+		return rebuilt == m && len(m.Lanes()) == m.PopCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package memory models the GPU memory system of the studied architecture
+// (paper §2.3 and Table 3): a flat functional backing store, banked shared
+// local memory (SLM), a GPU L3 data cache, the last-level cache shared
+// with the CPU cores, DRAM, and the data-cluster interface whose peak
+// line-per-cycle bandwidth is the DC1/DC2 knob of the paper's execution
+// time analysis (§5.4).
+package memory
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// LineBytes is the cache line size used throughout the hierarchy.
+const LineBytes = 64
+
+// LineAddr returns the line-aligned address containing addr.
+func LineAddr(addr uint32) uint32 { return addr &^ (LineBytes - 1) }
+
+// Flat is the functional backing store: a flat, byte-addressable global
+// memory with a bump allocator. Address 0 is reserved so that a zero
+// pointer is always invalid.
+type Flat struct {
+	data []byte
+	brk  uint32
+}
+
+// NewFlat creates a backing store with the given initial capacity.
+func NewFlat(capacity int) *Flat {
+	if capacity < LineBytes {
+		capacity = LineBytes
+	}
+	return &Flat{data: make([]byte, capacity), brk: LineBytes}
+}
+
+// Alloc reserves size bytes and returns the base address, aligned to a
+// cache line so buffers never share lines.
+func (f *Flat) Alloc(size int) uint32 {
+	base := (f.brk + LineBytes - 1) &^ (LineBytes - 1)
+	end := base + uint32(size)
+	for int(end) > len(f.data) {
+		f.data = append(f.data, make([]byte, len(f.data))...)
+	}
+	f.brk = end
+	return base
+}
+
+// Size returns the high-water mark of allocated memory.
+func (f *Flat) Size() int { return int(f.brk) }
+
+func (f *Flat) check(addr uint32, n int) {
+	if int(addr)+n > len(f.data) || addr == 0 {
+		panic(fmt.Sprintf("memory: access %#x+%d outside allocated memory (%d bytes)", addr, n, len(f.data)))
+	}
+}
+
+// ReadU32 reads a 32-bit word.
+func (f *Flat) ReadU32(addr uint32) uint32 {
+	f.check(addr, 4)
+	return binary.LittleEndian.Uint32(f.data[addr:])
+}
+
+// WriteU32 writes a 32-bit word.
+func (f *Flat) WriteU32(addr uint32, v uint32) {
+	f.check(addr, 4)
+	binary.LittleEndian.PutUint32(f.data[addr:], v)
+}
+
+// AtomicAdd adds v to the word at addr and returns the previous value.
+// The simulator is single-threaded, so issue order defines atomicity.
+func (f *Flat) AtomicAdd(addr uint32, v uint32) uint32 {
+	old := f.ReadU32(addr)
+	f.WriteU32(addr, old+v)
+	return old
+}
+
+// AtomicMin stores min(old, v) (unsigned) at addr and returns the previous
+// value.
+func (f *Flat) AtomicMin(addr uint32, v uint32) uint32 {
+	old := f.ReadU32(addr)
+	if v < old {
+		f.WriteU32(addr, v)
+	}
+	return old
+}
+
+// WriteBytes copies src to memory at addr.
+func (f *Flat) WriteBytes(addr uint32, src []byte) {
+	f.check(addr, len(src))
+	copy(f.data[addr:], src)
+}
+
+// ReadBytes copies memory at addr into dst.
+func (f *Flat) ReadBytes(addr uint32, dst []byte) {
+	f.check(addr, len(dst))
+	copy(dst, f.data[addr:])
+}
+
+// SLM is the shared local memory of one workgroup: a small, fast,
+// many-banked scratchpad (Table 3: 64KB, 5-cycle latency). Bank conflicts
+// serialize accesses; the conflict degree is computed by ConflictCycles.
+type SLM struct {
+	data  []byte
+	banks int
+}
+
+// NewSLM creates a scratchpad of the given size and bank count.
+func NewSLM(size, banks int) *SLM {
+	if banks <= 0 {
+		banks = 16
+	}
+	return &SLM{data: make([]byte, size), banks: banks}
+}
+
+// Size returns the scratchpad capacity in bytes.
+func (s *SLM) Size() int { return len(s.data) }
+
+// ReadU32 reads a 32-bit word at a byte offset.
+func (s *SLM) ReadU32(off uint32) uint32 {
+	if int(off)+4 > len(s.data) {
+		panic(fmt.Sprintf("memory: SLM read %#x outside %d-byte scratchpad", off, len(s.data)))
+	}
+	return binary.LittleEndian.Uint32(s.data[off:])
+}
+
+// WriteU32 writes a 32-bit word at a byte offset.
+func (s *SLM) WriteU32(off uint32, v uint32) {
+	if int(off)+4 > len(s.data) {
+		panic(fmt.Sprintf("memory: SLM write %#x outside %d-byte scratchpad", off, len(s.data)))
+	}
+	binary.LittleEndian.PutUint32(s.data[off:], v)
+}
+
+// ConflictCycles returns the number of serialized access cycles for a set
+// of per-lane word offsets: the maximum number of distinct words mapping
+// to the same bank (lanes hitting the same word broadcast in one cycle).
+func (s *SLM) ConflictCycles(offsets []uint32) int {
+	if len(offsets) == 0 {
+		return 0
+	}
+	perBank := make(map[int]map[uint32]bool, s.banks)
+	worst := 1
+	for _, off := range offsets {
+		word := off >> 2
+		bank := int(word) % s.banks
+		words := perBank[bank]
+		if words == nil {
+			words = make(map[uint32]bool)
+			perBank[bank] = words
+		}
+		words[word] = true
+		if len(words) > worst {
+			worst = len(words)
+		}
+	}
+	return worst
+}
+
+// CoalesceLines returns the distinct cache-line addresses touched by a set
+// of per-lane byte addresses — the per-instruction memory divergence of
+// the paper (§1). Order follows first appearance.
+func CoalesceLines(addrs []uint32) []uint32 {
+	seen := make(map[uint32]bool, len(addrs))
+	out := make([]uint32, 0, 4)
+	for _, a := range addrs {
+		l := LineAddr(a)
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}

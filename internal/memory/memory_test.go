@@ -1,0 +1,421 @@
+package memory
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlatAllocAndAccess(t *testing.T) {
+	f := NewFlat(256)
+	a := f.Alloc(100)
+	b := f.Alloc(100)
+	if a == 0 || b == 0 {
+		t.Fatal("Alloc returned reserved address 0")
+	}
+	if a%LineBytes != 0 || b%LineBytes != 0 {
+		t.Fatal("allocations must be line aligned")
+	}
+	if b < a+100 {
+		t.Fatal("allocations overlap")
+	}
+	f.WriteU32(a, 0xCAFE)
+	f.WriteU32(b, 0xBEEF)
+	if f.ReadU32(a) != 0xCAFE || f.ReadU32(b) != 0xBEEF {
+		t.Fatal("read/write round trip failed")
+	}
+}
+
+func TestFlatGrows(t *testing.T) {
+	f := NewFlat(64)
+	addr := f.Alloc(1 << 16)
+	f.WriteU32(addr+1<<16-4, 7)
+	if f.ReadU32(addr+1<<16-4) != 7 {
+		t.Fatal("grown memory not accessible")
+	}
+	if f.Size() < 1<<16 {
+		t.Fatal("Size below allocation high-water mark")
+	}
+}
+
+func TestFlatAtomics(t *testing.T) {
+	f := NewFlat(256)
+	a := f.Alloc(4)
+	f.WriteU32(a, 10)
+	if old := f.AtomicAdd(a, 5); old != 10 {
+		t.Fatalf("AtomicAdd old = %d, want 10", old)
+	}
+	if f.ReadU32(a) != 15 {
+		t.Fatalf("AtomicAdd result = %d, want 15", f.ReadU32(a))
+	}
+	if old := f.AtomicMin(a, 3); old != 15 {
+		t.Fatalf("AtomicMin old = %d, want 15", old)
+	}
+	if f.ReadU32(a) != 3 {
+		t.Fatalf("AtomicMin result = %d, want 3", f.ReadU32(a))
+	}
+	if f.AtomicMin(a, 100); f.ReadU32(a) != 3 {
+		t.Fatal("AtomicMin must not raise the value")
+	}
+}
+
+func TestFlatBadAccessPanics(t *testing.T) {
+	f := NewFlat(128)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on address 0")
+		}
+	}()
+	f.ReadU32(0)
+}
+
+func TestCoalesceLines(t *testing.T) {
+	// 16 lanes reading consecutive floats: one line.
+	var addrs []uint32
+	for i := 0; i < 16; i++ {
+		addrs = append(addrs, 0x1000+uint32(i)*4)
+	}
+	if got := CoalesceLines(addrs); len(got) != 1 || got[0] != 0x1000 {
+		t.Fatalf("contiguous coalesce = %v", got)
+	}
+	// 16 lanes striding one line each: 16 lines.
+	addrs = addrs[:0]
+	for i := 0; i < 16; i++ {
+		addrs = append(addrs, 0x1000+uint32(i)*LineBytes)
+	}
+	if got := CoalesceLines(addrs); len(got) != 16 {
+		t.Fatalf("strided coalesce = %d lines, want 16", len(got))
+	}
+	if got := CoalesceLines(nil); len(got) != 0 {
+		t.Fatal("empty coalesce must be empty")
+	}
+}
+
+// Property: coalescing is idempotent and covers every input address.
+func TestCoalesceProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		lines := CoalesceLines(raw)
+		set := map[uint32]bool{}
+		for _, l := range lines {
+			if l%LineBytes != 0 || set[l] {
+				return false
+			}
+			set[l] = true
+		}
+		for _, a := range raw {
+			if !set[LineAddr(a)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSLMConflicts(t *testing.T) {
+	s := NewSLM(64<<10, 16)
+	// All lanes to distinct banks: 1 cycle.
+	var offs []uint32
+	for i := 0; i < 16; i++ {
+		offs = append(offs, uint32(i)*4)
+	}
+	if c := s.ConflictCycles(offs); c != 1 {
+		t.Fatalf("conflict-free access = %d cycles, want 1", c)
+	}
+	// All lanes to the same word: broadcast, 1 cycle.
+	offs = offs[:0]
+	for i := 0; i < 16; i++ {
+		offs = append(offs, 128)
+	}
+	if c := s.ConflictCycles(offs); c != 1 {
+		t.Fatalf("broadcast access = %d cycles, want 1", c)
+	}
+	// All lanes to distinct words in the same bank: full serialization.
+	offs = offs[:0]
+	for i := 0; i < 8; i++ {
+		offs = append(offs, uint32(i)*16*4)
+	}
+	if c := s.ConflictCycles(offs); c != 8 {
+		t.Fatalf("same-bank access = %d cycles, want 8", c)
+	}
+	if s.ConflictCycles(nil) != 0 {
+		t.Fatal("no lanes must cost 0 cycles")
+	}
+}
+
+func TestSLMReadWrite(t *testing.T) {
+	s := NewSLM(1024, 16)
+	s.WriteU32(100, 77)
+	if s.ReadU32(100) != 77 {
+		t.Fatal("SLM round trip failed")
+	}
+	if s.Size() != 1024 {
+		t.Fatal("SLM size mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range SLM access")
+		}
+	}()
+	s.ReadU32(1022)
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache("t", 8<<10, 4, 1, 7)
+	line := uint32(0x4000)
+	hit, ready := c.Access(line, 100)
+	if hit {
+		t.Fatal("cold access must miss")
+	}
+	if ready != 107 {
+		t.Fatalf("ready = %d, want 107", ready)
+	}
+	c.Fill(line)
+	hit, _ = c.Access(line, 200)
+	if !hit {
+		t.Fatal("filled line must hit")
+	}
+	if c.Stats.Accesses != 2 || c.Stats.Hits != 1 || c.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+	if c.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", c.HitRate())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way cache with enough lines to force set reuse: size 2 sets.
+	c := NewCache("t", 4*LineBytes, 2, 1, 1)
+	// Three lines mapping to set 0 (line numbers 0 mod 2): use lines 2,4,6
+	// (even line numbers map to set 0 of 2 sets).
+	l1, l2, l3 := uint32(2*LineBytes), uint32(4*LineBytes), uint32(6*LineBytes)
+	c.Access(l1, 0)
+	c.Fill(l1)
+	c.Access(l2, 1)
+	c.Fill(l2)
+	// Touch l1 so l2 becomes LRU.
+	c.Access(l1, 2)
+	c.Access(l3, 3)
+	c.Fill(l3)
+	if !c.Contains(l1) {
+		t.Fatal("recently used line evicted")
+	}
+	if c.Contains(l2) {
+		t.Fatal("LRU line not evicted")
+	}
+	if !c.Contains(l3) {
+		t.Fatal("filled line missing")
+	}
+}
+
+func TestCacheBankSerialization(t *testing.T) {
+	c := NewCache("t", 8<<10, 4, 1, 7) // single bank
+	_, r1 := c.Access(0x1000, 50)
+	_, r2 := c.Access(0x2000, 50)
+	if r2 != r1+1 {
+		t.Fatalf("same-cycle same-bank accesses: ready %d and %d, want serialization", r1, r2)
+	}
+	c4 := NewCache("t4", 8<<10, 4, 4, 7)
+	_, ra := c4.Access(0*LineBytes, 50)
+	_, rb := c4.Access(1*LineBytes, 50) // different bank
+	if ra != rb {
+		t.Fatalf("different banks serialized: %d vs %d", ra, rb)
+	}
+}
+
+func TestCachePerfect(t *testing.T) {
+	c := NewCache("t", 8<<10, 4, 1, 7)
+	c.SetPerfect(true)
+	hit, _ := c.Access(0xABC0, 0)
+	if !hit {
+		t.Fatal("perfect cache must always hit")
+	}
+	if !c.Contains(0xFFFFFFC0) {
+		t.Fatal("perfect cache must contain everything")
+	}
+}
+
+// Property: hits + misses == accesses for arbitrary access streams.
+func TestCacheStatsProperty(t *testing.T) {
+	f := func(lines []uint16) bool {
+		c := NewCache("t", 4<<10, 4, 2, 3)
+		for i, l := range lines {
+			line := uint32(l) * LineBytes
+			hit, _ := c.Access(line, int64(i))
+			if !hit {
+				c.Fill(line)
+			}
+		}
+		return c.Stats.Hits+c.Stats.Misses == c.Stats.Accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSystemRequestCompletion(t *testing.T) {
+	cfg := DefaultConfig()
+	sys := NewSystem(cfg)
+	var doneAt int64 = -1
+	sys.RequestLines([]uint32{0x1000}, 0, func(r int64) { doneAt = r })
+	// Cold miss path: L3 (7) + LLC (10) + DRAM (200).
+	var now int64
+	for doneAt < 0 && now < 10000 {
+		sys.Tick(now)
+		now++
+	}
+	if doneAt < 0 {
+		t.Fatal("request never completed")
+	}
+	want := int64(cfg.L3Latency + cfg.LLCLatency + cfg.DRAMLatency)
+	if doneAt != want {
+		t.Fatalf("cold miss ready at %d, want %d", doneAt, want)
+	}
+	// Second access to the same line: L3 hit.
+	doneAt = -1
+	start := now
+	sys.RequestLines([]uint32{0x1000}, now, func(r int64) { doneAt = r })
+	for doneAt < 0 && now < start+10000 {
+		sys.Tick(now)
+		now++
+	}
+	if doneAt-start != int64(cfg.L3Latency) {
+		t.Fatalf("warm access took %d cycles, want %d", doneAt-start, cfg.L3Latency)
+	}
+	if sys.Stats.LinesRequested != 2 || sys.Stats.DRAMLines != 1 {
+		t.Fatalf("stats = %+v", sys.Stats)
+	}
+}
+
+func TestSystemBandwidthThrottle(t *testing.T) {
+	run := func(bw int) int64 {
+		cfg := DefaultConfig()
+		cfg.DCLinesPerCycle = bw
+		cfg.PerfectL3 = true
+		sys := NewSystem(cfg)
+		lines := make([]uint32, 64)
+		for i := range lines {
+			lines[i] = uint32(0x1000 + i*LineBytes)
+		}
+		var doneAt int64 = -1
+		sys.RequestLines(lines, 0, func(r int64) { doneAt = r })
+		var now int64
+		for doneAt < 0 && now < 100000 {
+			sys.Tick(now)
+			now++
+		}
+		if doneAt < 0 {
+			t.Fatal("request never completed")
+		}
+		return doneAt
+	}
+	dc1 := run(1)
+	dc2 := run(2)
+	if dc2 >= dc1 {
+		t.Fatalf("DC2 (%d) must finish before DC1 (%d)", dc2, dc1)
+	}
+	// 64 lines at 1/cycle vs 2/cycle: roughly 2x difference in queue time.
+	if dc1-dc2 < 20 {
+		t.Fatalf("bandwidth effect too small: dc1=%d dc2=%d", dc1, dc2)
+	}
+}
+
+func TestSystemEmptyRequest(t *testing.T) {
+	sys := NewSystem(DefaultConfig())
+	var done bool
+	sys.RequestLines(nil, 5, func(int64) { done = true })
+	sys.Tick(5)
+	if !done {
+		t.Fatal("empty request must complete on the next tick")
+	}
+	if sys.InFlight() {
+		t.Fatal("nothing should remain in flight")
+	}
+}
+
+func TestSystemPerfectL3(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PerfectL3 = true
+	sys := NewSystem(cfg)
+	var doneAt int64 = -1
+	sys.RequestLines([]uint32{0x9000}, 0, func(r int64) { doneAt = r })
+	for now := int64(0); doneAt < 0 && now < 100; now++ {
+		sys.Tick(now)
+	}
+	if doneAt != int64(cfg.L3Latency) {
+		t.Fatalf("perfect L3 ready at %d, want %d", doneAt, cfg.L3Latency)
+	}
+	if sys.Stats.DRAMLines != 0 {
+		t.Fatal("perfect L3 must not touch DRAM")
+	}
+}
+
+func TestSLMReadyAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	sys := NewSystem(cfg)
+	slm := NewSLM(cfg.SLMBytes, cfg.SLMBanks)
+	offs := []uint32{0, 64, 128} // distinct words, same bank (stride 16 words)
+	ready := sys.SLMReady(slm, offs, 100)
+	if ready != 100+int64(cfg.SLMLatency)+2 {
+		t.Fatalf("SLM ready = %d", ready)
+	}
+	if sys.Stats.SLMAccesses != 1 || sys.Stats.SLMConflicts != 2 {
+		t.Fatalf("SLM stats = %+v", sys.Stats)
+	}
+}
+
+// refCache is a naive reference model: per set, an LRU-ordered slice.
+type refCache struct {
+	sets, ways int
+	data       map[int][]uint32
+}
+
+func newRefCache(sizeBytes, ways int) *refCache {
+	return &refCache{sets: sizeBytes / LineBytes / ways, ways: ways, data: map[int][]uint32{}}
+}
+
+func (r *refCache) access(line uint32) bool {
+	s := int(line/LineBytes) % r.sets
+	set := r.data[s]
+	for i, l := range set {
+		if l == line {
+			// Move to MRU position.
+			set = append(append(append([]uint32{}, set[:i]...), set[i+1:]...), line)
+			r.data[s] = set
+			return true
+		}
+	}
+	set = append(set, line)
+	if len(set) > r.ways {
+		set = set[1:] // evict LRU
+	}
+	r.data[s] = set
+	return false
+}
+
+// Differential test: the banked production cache must make the same
+// hit/miss decision as the naive LRU reference on every access of random
+// streams.
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		c := NewCache("dut", 8<<10, 4, 4, 3)
+		ref := newRefCache(8<<10, 4)
+		for i := 0; i < 5000; i++ {
+			// Line 0 is reserved (address 0 is never allocated), so the
+			// production cache treats tag 0 as invalid; keep it out of
+			// the stream like real traffic does.
+			line := uint32(1+r.Intn(511)) * LineBytes
+			hit, _ := c.Access(line, int64(i))
+			wantHit := ref.access(line)
+			if hit != wantHit {
+				t.Fatalf("seed %d access %d line %#x: dut hit=%v ref hit=%v", seed, i, line, hit, wantHit)
+			}
+			if !hit {
+				c.Fill(line)
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package memory
+
+import "container/heap"
+
+// Config holds the memory-system parameters of paper Table 3.
+type Config struct {
+	SLMBytes   int
+	SLMLatency int
+	SLMBanks   int
+
+	L3Bytes   int
+	L3Ways    int
+	L3Banks   int
+	L3Latency int
+
+	LLCBytes   int
+	LLCWays    int
+	LLCBanks   int
+	LLCLatency int
+
+	DRAMLatency       int
+	DRAMIssueInterval int // min cycles between DRAM line transfers (bandwidth)
+
+	// DCLinesPerCycle is the peak data-cluster throughput between the EUs
+	// and the L3, in cache lines per cycle: 1 for the paper's DC1
+	// configuration (today's GPUs), 2 for DC2 (future GPUs).
+	DCLinesPerCycle int
+
+	// PerfectL3 makes every L3 access hit (paper Fig. 12 "PL3" bars).
+	PerfectL3 bool
+}
+
+// DefaultConfig returns the Table 3 configuration with DC1 bandwidth.
+func DefaultConfig() Config {
+	return Config{
+		SLMBytes: 64 << 10, SLMLatency: 5, SLMBanks: 16,
+		L3Bytes: 128 << 10, L3Ways: 64, L3Banks: 4, L3Latency: 7,
+		LLCBytes: 2 << 20, LLCWays: 16, LLCBanks: 8, LLCLatency: 10,
+		DRAMLatency: 200, DRAMIssueInterval: 4,
+		DCLinesPerCycle: 1,
+	}
+}
+
+// Stats aggregates memory-system activity for one simulation.
+type Stats struct {
+	LinesRequested int64 // line requests entering the data cluster
+	SLMAccesses    int64
+	SLMConflicts   int64 // extra serialized SLM cycles beyond the first
+	DRAMLines      int64
+}
+
+type lineReq struct {
+	line  uint32
+	group *reqGroup
+}
+
+type reqGroup struct {
+	remaining int
+	latest    int64
+	done      func(ready int64)
+}
+
+type completion struct {
+	at    int64
+	group *reqGroup
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// System is the timed global-memory path: the data-cluster queue feeding
+// L3 → LLC → DRAM, plus the functional backing store.
+type System struct {
+	Cfg Config
+	Mem *Flat
+	L3  *Cache
+	LLC *Cache
+
+	queue    []lineReq
+	pending  completionHeap
+	dramFree int64
+
+	Stats Stats
+}
+
+// NewSystem builds the memory system for the given configuration.
+func NewSystem(cfg Config) *System {
+	s := &System{
+		Cfg: cfg,
+		Mem: NewFlat(1 << 20),
+		L3:  NewCache("L3", cfg.L3Bytes, cfg.L3Ways, cfg.L3Banks, cfg.L3Latency),
+		LLC: NewCache("LLC", cfg.LLCBytes, cfg.LLCWays, cfg.LLCBanks, cfg.LLCLatency),
+	}
+	s.L3.SetPerfect(cfg.PerfectL3)
+	return s
+}
+
+// RequestLines enqueues a SEND's coalesced line requests into the data
+// cluster. done is invoked (during a later Tick) with the cycle at which
+// the last line's data is available. An empty request completes
+// immediately on the next Tick.
+func (s *System) RequestLines(lines []uint32, now int64, done func(ready int64)) {
+	g := &reqGroup{remaining: len(lines), latest: now, done: done}
+	if len(lines) == 0 {
+		heap.Push(&s.pending, completion{at: now, group: g})
+		return
+	}
+	s.Stats.LinesRequested += int64(len(lines))
+	for _, l := range lines {
+		s.queue = append(s.queue, lineReq{line: l, group: g})
+	}
+}
+
+// QueueLen reports the number of line requests waiting for data-cluster
+// slots (testing and back-pressure hook).
+func (s *System) QueueLen() int { return len(s.queue) }
+
+// InFlight reports whether any request is queued or pending completion.
+func (s *System) InFlight() bool { return len(s.queue) > 0 || s.pending.Len() > 0 }
+
+// Tick advances the data cluster by one cycle: it admits up to
+// DCLinesPerCycle line requests into the cache hierarchy and fires any
+// completions due at or before now.
+func (s *System) Tick(now int64) {
+	bw := s.Cfg.DCLinesPerCycle
+	if bw < 1 {
+		bw = 1
+	}
+	for i := 0; i < bw && len(s.queue) > 0; i++ {
+		r := s.queue[0]
+		s.queue = s.queue[1:]
+		ready := s.lookup(r.line, now)
+		if ready > r.group.latest {
+			r.group.latest = ready
+		}
+		r.group.remaining--
+		if r.group.remaining == 0 {
+			heap.Push(&s.pending, completion{at: r.group.latest, group: r.group})
+		}
+	}
+	for s.pending.Len() > 0 && s.pending[0].at <= now {
+		c := heap.Pop(&s.pending).(completion)
+		if c.group.remaining == 0 && c.group.done != nil {
+			c.group.done(c.at)
+		}
+	}
+}
+
+// lookup walks the hierarchy for one line and returns its data-ready cycle.
+func (s *System) lookup(line uint32, now int64) int64 {
+	hit3, r3 := s.L3.Access(line, now)
+	if hit3 {
+		return r3
+	}
+	hitL, rL := s.LLC.Access(line, r3)
+	if hitL {
+		s.L3.Fill(line)
+		return rL
+	}
+	start := rL
+	if s.dramFree > start {
+		start = s.dramFree
+	}
+	s.dramFree = start + int64(s.Cfg.DRAMIssueInterval)
+	ready := start + int64(s.Cfg.DRAMLatency)
+	s.Stats.DRAMLines++
+	s.LLC.Fill(line)
+	s.L3.Fill(line)
+	return ready
+}
+
+// SLMReady computes the completion cycle of an SLM access given the
+// per-lane word offsets, applying bank-conflict serialization, and records
+// the access in the stats.
+func (s *System) SLMReady(slm *SLM, offsets []uint32, now int64) int64 {
+	conflicts := slm.ConflictCycles(offsets)
+	if conflicts < 1 {
+		conflicts = 1
+	}
+	s.Stats.SLMAccesses++
+	s.Stats.SLMConflicts += int64(conflicts - 1)
+	return now + int64(s.Cfg.SLMLatency) + int64(conflicts-1)
+}

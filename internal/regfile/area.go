@@ -1,0 +1,85 @@
+package regfile
+
+import "fmt"
+
+// Analytical register-file area model. The paper compared register-file
+// organizations with CACTI 5.x (32 nm) and reported:
+//
+//   - BCC's half-register organization costs ~10% more area than the
+//     baseline 256-bit single-bank file;
+//   - the 8-banked, per-lane-addressable file required by inter-warp
+//     compaction schemes (TBC/DWF) costs more than 40% extra.
+//
+// CACTI is unavailable here, so we substitute a first-order model:
+// storage cells plus per-bank periphery (sense amplifiers and write
+// drivers scale with the bank's data width; address decoders scale with
+// the bank's entry count) plus optional crossbar routing area. The
+// constants are calibrated so the baseline→BCC delta lands at the paper's
+// ~10%; the inter-warp organization then falls out of the same model
+// (well above the paper's 40% floor). See DESIGN.md substitution 6.
+
+// Area-model calibration constants, in arbitrary cell-area units.
+const (
+	cellUnit     = 1.0  // area of one storage bit
+	senseAmpUnit = 8.0  // per bit of bank data width
+	decoderUnit  = 28.0 // per entry of a bank
+	crossbarUnit = 1.0  // per crosspoint bit of a swizzle crossbar
+	latchUnit    = 1.5  // per bit of operand latch
+)
+
+// Organization describes a register-file physical organization.
+type Organization struct {
+	Name       string
+	Banks      int // independent banks
+	EntryBits  int // data width of one bank entry
+	Entries    int // entries per bank
+	CrossbarIn int // inputs per swizzle crossbar (0 = none)
+	Crossbars  int // number of swizzle crossbars
+	LatchBits  int // operand latch width (0 = none)
+}
+
+// StorageBits returns the total storage capacity in bits.
+func (o Organization) StorageBits() int { return o.Banks * o.EntryBits * o.Entries }
+
+// Area returns the modeled area in cell units.
+func (o Organization) Area() float64 {
+	storage := float64(o.StorageBits()) * cellUnit
+	periphery := float64(o.Banks) * (float64(o.EntryBits)*senseAmpUnit + float64(o.Entries)*decoderUnit)
+	xbar := float64(o.Crossbars) * float64(o.CrossbarIn*o.CrossbarIn*32) * crossbarUnit
+	latch := float64(o.LatchBits) * latchUnit
+	return storage + periphery + xbar + latch
+}
+
+// Overhead returns the fractional area overhead of o relative to the
+// baseline organization.
+func (o Organization) Overhead() float64 {
+	base := BaselineOrg.Area()
+	return (o.Area() - base) / base
+}
+
+func (o Organization) String() string {
+	return fmt.Sprintf("%s: %d bank(s) × %d entries × %db", o.Name, o.Banks, o.Entries, o.EntryBits)
+}
+
+// The four organizations compared in the paper (§4.3 and Fig. 5). All hold
+// the same 128 × 256b of architectural state per thread.
+var (
+	// BaselineOrg is the stock Ivy Bridge file: one bank of 256-bit
+	// registers (Fig. 5a).
+	BaselineOrg = Organization{Name: "baseline", Banks: 1, EntryBits: 256, Entries: 128}
+
+	// BCCOrg splits each register into two independently addressable
+	// 128-bit halves so skipped quads skip their operand fetch (Fig. 5b).
+	BCCOrg = Organization{Name: "bcc", Banks: 2, EntryBits: 128, Entries: 128}
+
+	// SCCOrg fetches a full 512-bit double register per cycle into an
+	// operand latch feeding four 4×4 lane crossbars (Fig. 5c). Wider but
+	// shorter than the baseline.
+	SCCOrg = Organization{Name: "scc", Banks: 1, EntryBits: 512, Entries: 64,
+		CrossbarIn: 4, Crossbars: 4, LatchBits: 512}
+
+	// InterWarpOrg is the 8-banked per-lane-addressable file required by
+	// inter-warp compaction schemes (TBC, DWF): every lane's words are
+	// independently addressable.
+	InterWarpOrg = Organization{Name: "interwarp", Banks: 8, EntryBits: 32, Entries: 128}
+)

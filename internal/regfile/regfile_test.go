@@ -1,0 +1,141 @@
+package regfile
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGRFReadWriteU32(t *testing.T) {
+	var g GRF
+	g.WriteU32(0, 0xDEADBEEF)
+	if g.ReadU32(0) != 0xDEADBEEF {
+		t.Fatal("u32 round trip failed at offset 0")
+	}
+	g.WriteU32(TotalBytes-4, 42)
+	if g.ReadU32(TotalBytes-4) != 42 {
+		t.Fatal("u32 round trip failed at end of file")
+	}
+}
+
+func TestGRFReadWriteWidths(t *testing.T) {
+	var g GRF
+	g.WriteU64(8, 0x0123456789ABCDEF)
+	if g.ReadU64(8) != 0x0123456789ABCDEF {
+		t.Fatal("u64 round trip failed")
+	}
+	// Little-endian layout: low word of the u64 readable as u32.
+	if g.ReadU32(8) != 0x89ABCDEF {
+		t.Fatalf("u32 view of u64 = %#x", g.ReadU32(8))
+	}
+	g.WriteU16(100, 0xBEEF)
+	if g.ReadU16(100) != 0xBEEF {
+		t.Fatal("u16 round trip failed")
+	}
+	g.WriteF32(200, 3.5)
+	if g.ReadF32(200) != 3.5 {
+		t.Fatal("f32 round trip failed")
+	}
+}
+
+func TestGRFBytesAndSnapshot(t *testing.T) {
+	var g GRF
+	src := []byte{1, 2, 3, 4, 5}
+	g.WriteBytes(64, src)
+	dst := make([]byte, 5)
+	g.ReadBytes(64, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("byte %d: got %d want %d", i, dst[i], src[i])
+		}
+	}
+	snap := g.Snapshot()
+	if len(snap) != TotalBytes || snap[64] != 1 || snap[68] != 5 {
+		t.Fatal("snapshot mismatch")
+	}
+	// Snapshot is a copy.
+	snap[64] = 99
+	if g.ReadBytes(64, dst); dst[0] != 1 {
+		t.Fatal("snapshot aliases storage")
+	}
+}
+
+func TestGRFReset(t *testing.T) {
+	var g GRF
+	g.WriteU32(0, 7)
+	g.Reset()
+	if g.ReadU32(0) != 0 {
+		t.Fatal("reset did not clear storage")
+	}
+}
+
+func TestGRFBounds(t *testing.T) {
+	var g GRF
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("read past end", func() { g.ReadU32(TotalBytes - 3) })
+	mustPanic("write past end", func() { g.WriteU64(TotalBytes-4, 0) })
+	mustPanic("negative offset", func() { g.ReadU16(-1) })
+}
+
+// Property: u32 writes at word-aligned offsets are independent (no
+// aliasing between distinct words).
+func TestGRFWordIndependenceProperty(t *testing.T) {
+	f := func(aSel, bSel uint16, av, bv uint32) bool {
+		a := (int(aSel) % (TotalBytes / 4)) * 4
+		b := (int(bSel) % (TotalBytes / 4)) * 4
+		if a == b {
+			return true
+		}
+		var g GRF
+		g.WriteU32(a, av)
+		g.WriteU32(b, bv)
+		return g.ReadU32(a) == av && g.ReadU32(b) == bv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// All four organizations must hold the same architectural state.
+func TestOrganizationCapacity(t *testing.T) {
+	want := NumRegs * RegBytes * 8
+	for _, o := range []Organization{BaselineOrg, BCCOrg, SCCOrg, InterWarpOrg} {
+		if o.StorageBits() != want {
+			t.Errorf("%s: storage %d bits, want %d", o.Name, o.StorageBits(), want)
+		}
+	}
+}
+
+// The paper's §4.3 area comparison: BCC ≈ +10% over baseline, the
+// inter-warp per-lane-addressable file > +40%.
+func TestAreaOverheads(t *testing.T) {
+	bcc := BCCOrg.Overhead()
+	if bcc < 0.07 || bcc > 0.13 {
+		t.Errorf("BCC overhead = %.3f, want ~0.10 (paper §4.3)", bcc)
+	}
+	iw := InterWarpOrg.Overhead()
+	if iw < 0.40 {
+		t.Errorf("inter-warp overhead = %.3f, want > 0.40 (paper §4.3)", iw)
+	}
+	scc := SCCOrg.Overhead()
+	if scc < 0 || scc > 0.15 {
+		t.Errorf("SCC overhead = %.3f, want small positive", scc)
+	}
+	if BaselineOrg.Overhead() != 0 {
+		t.Error("baseline overhead must be zero")
+	}
+}
+
+func TestOrganizationString(t *testing.T) {
+	s := BCCOrg.String()
+	if s != "bcc: 2 bank(s) × 128 entries × 128b" {
+		t.Errorf("unexpected rendering %q", s)
+	}
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"encoding/json"
+
+	"intrawarp/internal/compaction"
+)
+
+// Report is a JSON-serializable snapshot of a Run, for scripting around
+// the CLI tools.
+type Report struct {
+	Kernel       string  `json:"kernel"`
+	SIMDWidth    int     `json:"simdWidth"`
+	Instructions int64   `json:"instructions"`
+	Efficiency   float64 `json:"simdEfficiency"`
+	Divergent    bool    `json:"divergent"`
+
+	EUCycles struct {
+		Baseline  int64 `json:"baseline"`
+		IvyBridge int64 `json:"ivb"`
+		BCC       int64 `json:"bcc"`
+		SCC       int64 `json:"scc"`
+	} `json:"euCycles"`
+	BCCReduction float64 `json:"bccReductionVsIVB"`
+	SCCReduction float64 `json:"sccReductionVsIVB"`
+
+	Timed *TimedReport `json:"timed,omitempty"`
+
+	Memory struct {
+		Sends        int64   `json:"sends"`
+		LinesPerSend float64 `json:"linesPerSend"`
+		SLMAccesses  int64   `json:"slmAccesses"`
+		DRAMLines    int64   `json:"dramLines"`
+	} `json:"memory"`
+
+	Histogram map[int][]int64 `json:"activeLaneHistogram"` // width → quartile counts
+}
+
+// TimedReport carries the quantities only a timed run produces.
+type TimedReport struct {
+	Policy      string  `json:"policy"`
+	TotalCycles int64   `json:"totalCycles"`
+	EUBusy      int64   `json:"euBusyCycles"`
+	DCDemand    float64 `json:"dcLinesPerCycle"`
+	L3HitRate   float64 `json:"l3HitRate"`
+	EnergyProxy float64 `json:"energyProxy"`
+}
+
+// Report builds the serializable snapshot.
+func (r *Run) Report() *Report {
+	rep := &Report{
+		Kernel:       r.Name,
+		SIMDWidth:    r.Width,
+		Instructions: r.Instructions,
+		Efficiency:   r.SIMDEfficiency(),
+		Divergent:    r.Divergent(),
+		BCCReduction: r.EUCycleReduction(compaction.BCC),
+		SCCReduction: r.EUCycleReduction(compaction.SCC),
+		Histogram:    map[int][]int64{},
+	}
+	rep.EUCycles.Baseline = r.PolicyCycles[compaction.Baseline]
+	rep.EUCycles.IvyBridge = r.PolicyCycles[compaction.IvyBridge]
+	rep.EUCycles.BCC = r.PolicyCycles[compaction.BCC]
+	rep.EUCycles.SCC = r.PolicyCycles[compaction.SCC]
+	rep.Memory.Sends = r.Sends
+	rep.Memory.LinesPerSend = r.LinesPerSend()
+	rep.Memory.SLMAccesses = r.Mem.SLMAccesses
+	rep.Memory.DRAMLines = r.Mem.DRAMLines
+	for w, h := range r.Hist {
+		rep.Histogram[w] = append([]int64(nil), h.Buckets[:]...)
+	}
+	if r.TotalCycles > 0 {
+		rep.Timed = &TimedReport{
+			Policy:      r.TimedPolicy.String(),
+			TotalCycles: r.TotalCycles,
+			EUBusy:      r.EUBusy,
+			DCDemand:    r.DCDemand(),
+			L3HitRate:   r.L3HitRate,
+			EnergyProxy: r.EnergyProxy(),
+		}
+	}
+	return rep
+}
+
+// JSON renders the report with indentation.
+func (r *Run) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.Report(), "", "  ")
+}

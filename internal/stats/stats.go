@@ -1,0 +1,305 @@
+// Package stats collects the measurements the paper's evaluation reports:
+// SIMD efficiency (Fig. 3), active-lane utilization breakdowns (Fig. 9),
+// what-if EU-cycle totals per compaction policy (Fig. 10, Table 2, Table
+// 4), and timed-run quantities — total cycles, EU busy cycles, and
+// data-cluster throughput (Figs. 11, 12).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"intrawarp/internal/compaction"
+	"intrawarp/internal/mask"
+	"intrawarp/internal/memory"
+)
+
+// Quartiles is the number of active-lane buckets per SIMD width in the
+// utilization breakdown (paper Fig. 9 uses quarters: 1–4, 5–8, 9–12,
+// 13–16 of 16).
+const Quartiles = 4
+
+// WidthHist is the active-lane histogram for one SIMD width.
+type WidthHist struct {
+	Width   int
+	Buckets [Quartiles]int64 // bucket q counts instructions with active lanes in (q*W/4, (q+1)*W/4]
+	Empty   int64            // instructions issued with an all-zero mask
+}
+
+// Total returns the number of recorded instructions for this width.
+func (h *WidthHist) Total() int64 {
+	t := h.Empty
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}
+
+// Run accumulates statistics for one kernel execution (or one trace).
+type Run struct {
+	Name  string
+	Width int // kernel's dominant SIMD width
+
+	Instructions int64 // dynamically executed instructions
+	ActiveLanes  int64 // sum of execution-mask popcounts
+	TotalLanes   int64 // sum of instruction widths
+
+	// PolicyCycles is the what-if sum of execution-pipe cycles per
+	// compaction policy, accumulated per instruction from its final
+	// execution mask. A single functional run yields all four totals.
+	PolicyCycles [compaction.NumPolicies]int64
+
+	// Hist maps SIMD width to its utilization histogram.
+	Hist map[int]*WidthHist
+
+	// Timed-run quantities (valid after a timed simulation).
+	TimedPolicy compaction.Policy
+	TotalCycles int64 // wall-clock cycles from launch to last thread retire
+	EUBusy      int64 // execution-pipe occupancy cycles actually spent
+
+	// Memory behaviour.
+	Sends     int64 // SEND instructions to global memory
+	SendLines int64 // coalesced line requests (memory divergence numerator)
+	Mem       memory.Stats
+	L3HitRate float64
+
+	// OperandFetchesSaved counts quad operand fetches suppressed by the
+	// timed policy (the paper's BCC energy-saving proxy, §4.3).
+	OperandFetchesSaved int64
+
+	// Dynamic-energy proxies (arbitrary units) accumulated by the timed
+	// model, quantifying the paper's qualitative §4.3 discussion:
+	// LaneCycles counts ALU lane slots clocked (execution cycles × lanes
+	// per cycle), QuadFetches counts 128-bit GRF operand accesses
+	// actually performed, and CrossbarOps counts operands routed through
+	// the SCC swizzle crossbars.
+	LaneCycles  int64
+	QuadFetches int64
+	CrossbarOps int64
+
+	// Barriers counts workgroup barrier instructions executed.
+	Barriers int64
+
+	// Stall attribution: per arbitration window across all EUs of the
+	// timed run, why nothing issued (or that something did). Indexed by
+	// StallKind.
+	Windows [NumStallKinds]int64
+}
+
+// StallKind classifies an EU arbitration window of a timed run.
+type StallKind int
+
+// Arbitration window outcomes.
+const (
+	WinIssued     StallKind = iota // at least one instruction issued
+	WinIdle                        // no resident thread had work (or all at barrier)
+	WinMemory                      // ready thread blocked on an outstanding memory load
+	WinScoreboard                  // ready thread blocked on an in-flight ALU result
+	WinPipe                        // ready thread blocked on execution-pipe occupancy
+	WinFrontend                    // ready thread refilling its instruction queue
+	NumStallKinds
+)
+
+// String names the stall kind.
+func (k StallKind) String() string {
+	switch k {
+	case WinIssued:
+		return "issued"
+	case WinIdle:
+		return "idle"
+	case WinMemory:
+		return "memory"
+	case WinScoreboard:
+		return "scoreboard"
+	case WinPipe:
+		return "pipe"
+	case WinFrontend:
+		return "frontend"
+	}
+	return "unknown"
+}
+
+// WindowShare returns the fraction of arbitration windows with the given
+// outcome.
+func (r *Run) WindowShare(k StallKind) float64 {
+	var tot int64
+	for _, v := range r.Windows {
+		tot += v
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(r.Windows[k]) / float64(tot)
+}
+
+// Energy-proxy weights: a 128-bit register-file access costs about twice
+// an ALU lane-cycle; a crossbar traversal is a small fraction of one.
+const (
+	EnergyWeightLaneCycle = 1.0
+	EnergyWeightFetch     = 2.0
+	EnergyWeightCrossbar  = 0.2
+)
+
+// EnergyProxy returns the weighted dynamic-energy estimate of the timed
+// run in arbitrary units.
+func (r *Run) EnergyProxy() float64 {
+	return EnergyWeightLaneCycle*float64(r.LaneCycles) +
+		EnergyWeightFetch*float64(r.QuadFetches) +
+		EnergyWeightCrossbar*float64(r.CrossbarOps)
+}
+
+// NewRun creates an empty statistics accumulator.
+func NewRun(name string, width int) *Run {
+	return &Run{Name: name, Width: width, Hist: make(map[int]*WidthHist)}
+}
+
+// RecordInstr accounts one executed instruction with the given width,
+// element group size, and final execution mask. It updates efficiency
+// counters, the utilization histogram, and the per-policy cycle totals.
+func (r *Run) RecordInstr(width, group int, m mask.Mask) {
+	m = m.Trunc(width)
+	r.Instructions++
+	pop := m.PopCount()
+	r.ActiveLanes += int64(pop)
+	r.TotalLanes += int64(width)
+
+	h := r.Hist[width]
+	if h == nil {
+		h = &WidthHist{Width: width}
+		r.Hist[width] = h
+	}
+	if pop == 0 {
+		h.Empty++
+	} else {
+		q := (pop*Quartiles - 1) / width // 0..3
+		if q >= Quartiles {
+			q = Quartiles - 1
+		}
+		h.Buckets[q]++
+	}
+
+	costs := compaction.CostAll(m, width, group)
+	for p := 0; p < compaction.NumPolicies; p++ {
+		r.PolicyCycles[p] += int64(costs[p])
+	}
+}
+
+// RecordSend accounts one global-memory SEND with its coalesced line count.
+func (r *Run) RecordSend(lines int) {
+	r.Sends++
+	r.SendLines += int64(lines)
+}
+
+// SIMDEfficiency returns enabled lanes / available lanes over the run
+// (paper Fig. 3). 1.0 means fully coherent.
+func (r *Run) SIMDEfficiency() float64 {
+	if r.TotalLanes == 0 {
+		return 1
+	}
+	return float64(r.ActiveLanes) / float64(r.TotalLanes)
+}
+
+// CoherenceThreshold is the SIMD-efficiency cut between coherent and
+// divergent applications (paper §3, §5.3: 95%).
+const CoherenceThreshold = 0.95
+
+// Divergent reports whether the run is classified as a divergent
+// application.
+func (r *Run) Divergent() bool { return r.SIMDEfficiency() < CoherenceThreshold }
+
+// EUCycleReduction returns the fractional EU-cycle reduction of policy p
+// relative to the IvyBridge baseline — the paper reports all BCC/SCC
+// benefits over and above the existing Ivy Bridge optimization (§5.2).
+func (r *Run) EUCycleReduction(p compaction.Policy) float64 {
+	return compaction.Reduction(r.PolicyCycles[compaction.IvyBridge], r.PolicyCycles[p])
+}
+
+// LinesPerSend returns the average memory divergence: distinct cache lines
+// per global SEND.
+func (r *Run) LinesPerSend() float64 {
+	if r.Sends == 0 {
+		return 0
+	}
+	return float64(r.SendLines) / float64(r.Sends)
+}
+
+// DCDemand returns the data-cluster throughput demand in lines per cycle
+// over the timed run (paper Fig. 11 secondary axis).
+func (r *Run) DCDemand() float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return float64(r.Mem.LinesRequested) / float64(r.TotalCycles)
+}
+
+// Merge adds other's instruction-level counters into r (used to aggregate
+// per-thread accumulators; timed-run fields are not merged).
+func (r *Run) Merge(other *Run) {
+	r.Instructions += other.Instructions
+	r.ActiveLanes += other.ActiveLanes
+	r.TotalLanes += other.TotalLanes
+	for p := range r.PolicyCycles {
+		r.PolicyCycles[p] += other.PolicyCycles[p]
+	}
+	for w, h := range other.Hist {
+		dst := r.Hist[w]
+		if dst == nil {
+			dst = &WidthHist{Width: w}
+			r.Hist[w] = dst
+		}
+		dst.Empty += h.Empty
+		for i := range h.Buckets {
+			dst.Buckets[i] += h.Buckets[i]
+		}
+	}
+	r.Sends += other.Sends
+	r.SendLines += other.SendLines
+	r.Barriers += other.Barriers
+	r.OperandFetchesSaved += other.OperandFetchesSaved
+	r.LaneCycles += other.LaneCycles
+	r.QuadFetches += other.QuadFetches
+	r.CrossbarOps += other.CrossbarOps
+	for k := range r.Windows {
+		r.Windows[k] += other.Windows[k]
+	}
+}
+
+// Summary renders a human-readable report of the run.
+func (r *Run) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s (SIMD%d)\n", r.Name, r.Width)
+	fmt.Fprintf(&b, "  instructions      %d\n", r.Instructions)
+	fmt.Fprintf(&b, "  SIMD efficiency   %.3f (%s)\n", r.SIMDEfficiency(), map[bool]string{true: "divergent", false: "coherent"}[r.Divergent()])
+	fmt.Fprintf(&b, "  EU cycles         base=%d ivb=%d bcc=%d scc=%d\n",
+		r.PolicyCycles[compaction.Baseline], r.PolicyCycles[compaction.IvyBridge],
+		r.PolicyCycles[compaction.BCC], r.PolicyCycles[compaction.SCC])
+	fmt.Fprintf(&b, "  reduction vs ivb  bcc=%.1f%% scc=%.1f%%\n",
+		100*r.EUCycleReduction(compaction.BCC), 100*r.EUCycleReduction(compaction.SCC))
+	if r.TotalCycles > 0 {
+		fmt.Fprintf(&b, "  timed (%s)        total=%d cycles, EU busy=%d\n", r.TimedPolicy, r.TotalCycles, r.EUBusy)
+		fmt.Fprintf(&b, "  data cluster      %.3f lines/cycle demand\n", r.DCDemand())
+	}
+	if r.Sends > 0 {
+		fmt.Fprintf(&b, "  memory divergence %.2f lines/send over %d sends\n", r.LinesPerSend(), r.Sends)
+	}
+	widths := make([]int, 0, len(r.Hist))
+	for w := range r.Hist {
+		widths = append(widths, w)
+	}
+	sort.Ints(widths)
+	for _, w := range widths {
+		h := r.Hist[w]
+		fmt.Fprintf(&b, "  SIMD%d lanes hist  ", w)
+		for q := 0; q < Quartiles; q++ {
+			lo := q*w/Quartiles + 1
+			hi := (q + 1) * w / Quartiles
+			fmt.Fprintf(&b, "%d-%d:%d ", lo, hi, h.Buckets[q])
+		}
+		if h.Empty > 0 {
+			fmt.Fprintf(&b, "empty:%d", h.Empty)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,204 @@
+package workloads
+
+import (
+	"fmt"
+
+	"intrawarp/internal/gpu"
+	"intrawarp/internal/isa"
+	"intrawarp/internal/kbuild"
+)
+
+// Breadth-first search in the Rodinia style: two kernels per frontier
+// level (expand, then commit) with a host loop reading a device-side
+// continue flag. Divergence comes from frontier sparsity and per-node
+// degree variance — the paper's canonical memory-bound divergent workload
+// (Fig. 12 shows its EU-cycle savings do not translate to execution time).
+
+func init() {
+	register(&Spec{Name: "bfs", Class: "rodinia", Divergent: true, DefaultN: 1024, Setup: setupBFS})
+}
+
+// bfsGraph is a deterministic random graph in CSR form.
+type bfsGraph struct {
+	n      int
+	rowOff []uint32
+	cols   []uint32
+}
+
+func genBFSGraph(n int) *bfsGraph {
+	r := rng(10)
+	g := &bfsGraph{n: n, rowOff: make([]uint32, n+1)}
+	for v := 0; v < n; v++ {
+		g.rowOff[v] = uint32(len(g.cols))
+		// Power-law-ish degrees: most nodes small, a few hubs.
+		deg := 1 + r.Intn(4)
+		if r.Intn(16) == 0 {
+			deg += r.Intn(24)
+		}
+		for e := 0; e < deg; e++ {
+			g.cols = append(g.cols, uint32(r.Intn(n)))
+		}
+	}
+	g.rowOff[n] = uint32(len(g.cols))
+	return g
+}
+
+// hostBFS computes reference distances.
+func hostBFS(g *bfsGraph, src int) []uint32 {
+	const inf = 0xFFFFFFFF
+	dist := make([]uint32, g.n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for e := g.rowOff[v]; e < g.rowOff[v+1]; e++ {
+			nb := int(g.cols[e])
+			if dist[nb] == inf {
+				dist[nb] = dist[v] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist
+}
+
+func setupBFS(g *gpu.GPU, n int) (*Instance, error) {
+	graph := genBFSGraph(n)
+	const inf = 0xFFFFFFFF
+
+	// Kernel 1: expand the frontier.
+	// args: 0=rowOff 1=cols 2=frontier 3=visited 4=cost 5=update
+	b := kbuild.New("bfs-expand", isa.SIMD16)
+	fAddr := b.Addr(b.Arg(2), b.GlobalID(), 4)
+	inF := b.Vec()
+	b.LoadGather(inF, fAddr)
+	b.CmpU(isa.F0, isa.CmpEQ, inF, b.U(1))
+	b.If(isa.F0)
+	zero := b.Vec()
+	b.MovU(zero, b.U(0))
+	b.StoreScatter(fAddr, zero)
+	// my cost
+	cAddr := b.Addr(b.Arg(4), b.GlobalID(), 4)
+	myCost := b.Vec()
+	b.LoadGather(myCost, cAddr)
+	newCost := b.Vec()
+	b.AddU(newCost, myCost, b.U(1))
+	// edge range
+	roAddr := b.Addr(b.Arg(0), b.GlobalID(), 4)
+	e := b.Vec()
+	b.LoadGather(e, roAddr)
+	roAddr2 := b.Vec()
+	b.AddU(roAddr2, roAddr, b.U(4))
+	eEnd := b.Vec()
+	b.LoadGather(eEnd, roAddr2)
+	b.CmpU(isa.F1, isa.CmpLT, e, eEnd)
+	b.If(isa.F1) // nodes with at least one edge
+	b.Loop()
+	{
+		colAddr := b.Addr(b.Arg(1), e, 4)
+		nb := b.Vec()
+		b.LoadGather(nb, colAddr)
+		vAddr := b.Addr(b.Arg(3), nb, 4)
+		vis := b.Vec()
+		b.LoadGather(vis, vAddr)
+		b.CmpU(isa.F0, isa.CmpEQ, vis, b.U(0))
+		b.If(isa.F0)
+		ncAddr := b.Addr(b.Arg(4), nb, 4)
+		b.StoreScatter(ncAddr, newCost)
+		upAddr := b.Addr(b.Arg(5), nb, 4)
+		one := b.Vec()
+		b.MovU(one, b.U(1))
+		b.StoreScatter(upAddr, one)
+		b.EndIf()
+	}
+	b.AddU(e, e, b.U(1))
+	b.CmpU(isa.F1, isa.CmpLT, e, eEnd)
+	b.While(isa.F1)
+	b.EndIf()
+	b.EndIf()
+	expand, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Kernel 2: commit updates into the next frontier.
+	// args: 0=frontier 1=visited 2=update 3=continueFlag
+	b2 := kbuild.New("bfs-commit", isa.SIMD16)
+	upAddr := b2.Addr(b2.Arg(2), b2.GlobalID(), 4)
+	up := b2.Vec()
+	b2.LoadGather(up, upAddr)
+	b2.CmpU(isa.F0, isa.CmpEQ, up, b2.U(1))
+	b2.If(isa.F0)
+	one2 := b2.Vec()
+	b2.MovU(one2, b2.U(1))
+	fAddr2 := b2.Addr(b2.Arg(0), b2.GlobalID(), 4)
+	vAddr2 := b2.Addr(b2.Arg(1), b2.GlobalID(), 4)
+	b2.StoreScatter(fAddr2, one2)
+	b2.StoreScatter(vAddr2, one2)
+	z2 := b2.Vec()
+	b2.MovU(z2, b2.U(0))
+	b2.StoreScatter(upAddr, z2)
+	flagAddr := b2.Vec()
+	b2.MovU(flagAddr, b2.Arg(3))
+	old := b2.Vec()
+	b2.AtomicAdd(old, flagAddr, one2)
+	b2.EndIf()
+	commit, err := b2.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Device buffers.
+	rowOffBuf := g.AllocU32(n+1, graph.rowOff)
+	colsBuf := g.AllocU32(len(graph.cols), graph.cols)
+	frontier := make([]uint32, n)
+	visited := make([]uint32, n)
+	cost := make([]uint32, n)
+	for i := range cost {
+		cost[i] = inf
+	}
+	const src = 0
+	frontier[src] = 1
+	visited[src] = 1
+	cost[src] = 0
+	frontierBuf := g.AllocU32(n, frontier)
+	visitedBuf := g.AllocU32(n, visited)
+	costBuf := g.AllocU32(n, cost)
+	updateBuf := g.AllocU32(n, make([]uint32, n))
+	flagBuf := g.AllocU32(1, []uint32{1})
+
+	expandSpec := gpu.LaunchSpec{Kernel: expand, GlobalSize: n, GroupSize: 64,
+		Args: []uint32{rowOffBuf, colsBuf, frontierBuf, visitedBuf, costBuf, updateBuf}}
+	commitSpec := gpu.LaunchSpec{Kernel: commit, GlobalSize: n, GroupSize: 64,
+		Args: []uint32{frontierBuf, visitedBuf, updateBuf, flagBuf}}
+
+	inst := &Instance{
+		Next: func(iter int) *gpu.LaunchSpec {
+			if iter%2 == 0 {
+				// Before each expand, check the continue flag (set by the
+				// previous commit); the very first expand always runs.
+				if iter > 0 && g.ReadBufferU32(flagBuf, 1)[0] == 0 {
+					return nil
+				}
+				g.WriteBufferU32(flagBuf, []uint32{0})
+				return &expandSpec
+			}
+			return &commitSpec
+		},
+		Check: func() error {
+			want := hostBFS(graph, src)
+			got := g.ReadBufferU32(costBuf, n)
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("cost[%d] = %d, want %d", i, got[i], want[i])
+				}
+			}
+			return nil
+		},
+	}
+	return inst, nil
+}

@@ -1,0 +1,268 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"intrawarp/internal/gpu"
+	"intrawarp/internal/isa"
+	"intrawarp/internal/kbuild"
+)
+
+// Fifth workload batch, media/speech kernels from Table 1: a DXTC-style
+// block texture compressor and a hidden-Markov-model Viterbi forward pass.
+
+func init() {
+	register(&Spec{Name: "dxtc", Class: "coherent", Divergent: false, DefaultN: 512, Setup: setupDXTC})
+	register(&Spec{Name: "hmm", Class: "hpc-div", Divergent: true, DefaultN: 512, Setup: setupHMM})
+}
+
+// setupDXTC: each work-item compresses one 16-texel grayscale block in the
+// DXT1 style: find the block's min/max, then quantize every texel to the
+// nearest of four interpolated levels. Uniform loops and Sel-based
+// quantization keep control coherent, like the SDK sample.
+func setupDXTC(g *gpu.GPU, n int) (*Instance, error) {
+	const texels = 16
+	b := kbuild.New("dxtc", isa.SIMD16)
+	// args: 0=texels (n*16 floats) 1=out packed 2-bit indices (n words)
+	base := b.Vec()
+	b.MulU(base, b.GlobalID(), b.U(texels*4))
+	b.AddU(base, base, b.Arg(0))
+
+	lo, hi := b.Vec(), b.Vec()
+	b.Mov(lo, b.F(1e30))
+	b.Mov(hi, b.F(-1e30))
+	ptr := b.Vec()
+	b.MovU(ptr, base)
+	i := b.Vec()
+	b.MovU(i, b.U(0))
+	b.Loop()
+	{
+		v := b.Vec()
+		b.LoadGather(v, ptr)
+		b.Min(lo, lo, v)
+		b.Max(hi, hi, v)
+	}
+	b.AddU(ptr, ptr, b.U(4))
+	b.AddU(i, i, b.U(1))
+	b.CmpU(isa.F0, isa.CmpLT, i, b.U(texels))
+	b.While(isa.F0)
+
+	// Quantization scale: 3/(hi-lo), guarded against flat blocks.
+	span := b.Vec()
+	b.Sub(span, hi, lo)
+	b.Max(span, span, b.F(1e-6))
+	scale := b.Vec()
+	b.Inv(scale, span)
+	b.Mul(scale, scale, b.F(3))
+
+	packed := b.Vec()
+	b.MovU(packed, b.U(0))
+	b.MovU(ptr, base)
+	b.MovU(i, b.U(0))
+	b.Loop()
+	{
+		v := b.Vec()
+		b.LoadGather(v, ptr)
+		q := b.Vec()
+		b.Sub(q, v, lo)
+		b.Mul(q, q, scale)
+		b.Add(q, q, b.F(0.5))
+		b.Flr(q, q)
+		b.Min(q, q, b.F(3))
+		qi := b.Vec()
+		b.ToI(qi, q)
+		// packed |= qi << (2*i)
+		sh := b.Vec()
+		b.AddU(sh, i, i)
+		b.Shl(qi, qi, sh)
+		b.Or(packed, packed, qi)
+	}
+	b.AddU(ptr, ptr, b.U(4))
+	b.AddU(i, i, b.U(1))
+	b.CmpU(isa.F0, isa.CmpLT, i, b.U(texels))
+	b.While(isa.F0)
+	oAddr := b.Addr(b.Arg(1), b.GlobalID(), 4)
+	b.StoreScatter(oAddr, packed)
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(60)
+	tex := make([]float32, n*texels)
+	for i := range tex {
+		tex[i] = r.Float32() * 255
+	}
+	bufT := g.AllocF32(n*texels, tex)
+	bufO := g.AllocU32(n, make([]uint32, n))
+	spec := gpu.LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 64,
+		Args: []uint32{bufT, bufO}}
+	check := func() error {
+		got := g.ReadBufferU32(bufO, n)
+		for blk := 0; blk < n; blk++ {
+			lo, hi := float32(1e30), float32(-1e30)
+			for t := 0; t < texels; t++ {
+				v := tex[blk*texels+t]
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			span := hi - lo
+			if span < 1e-6 {
+				span = 1e-6
+			}
+			scale := (1 / span) * 3
+			var want uint32
+			for t := 0; t < texels; t++ {
+				q := (tex[blk*texels+t] - lo) * scale
+				q += 0.5
+				q = float32(math.Floor(float64(q)))
+				if q > 3 {
+					q = 3
+				}
+				want |= uint32(int32(q)) << uint(2*t)
+			}
+			if got[blk] != want {
+				return fmt.Errorf("block %d = %#x, want %#x", blk, got[blk], want)
+			}
+		}
+		return nil
+	}
+	return Single(spec, check), nil
+}
+
+// setupHMM: Viterbi forward pass over a 4-state integer HMM — each
+// work-item decodes its own observation sequence; the running-max state
+// update branches per lane (like the paper's HMM speech kernel).
+func setupHMM(g *gpu.GPU, n int) (*Instance, error) {
+	const (
+		states = 4
+		steps  = 12
+	)
+	r := rng(61)
+	// Integer log-probabilities (costs, smaller better): transition and
+	// per-symbol emission tables, plus per-work-item observations.
+	trans := make([]uint32, states*states)
+	for i := range trans {
+		trans[i] = uint32(1 + r.Intn(9))
+	}
+	emit := make([]uint32, states*2) // binary observation symbols
+	for i := range emit {
+		emit[i] = uint32(1 + r.Intn(9))
+	}
+	obs := make([]uint32, n*steps)
+	for i := range obs {
+		obs[i] = uint32(r.Intn(2))
+	}
+
+	b := kbuild.New("hmm", isa.SIMD16)
+	// args: 0=trans 1=emit 2=obs 3=out best final cost
+	// Per-lane DP registers: cost[s] for the 4 states.
+	cost := make([]isa.Operand, states)
+	for s := range cost {
+		cost[s] = b.Vec()
+		b.MovU(cost[s], b.U(uint32(s))) // arbitrary deterministic init
+	}
+	oPtr := b.Vec()
+	b.MulU(oPtr, b.GlobalID(), b.U(steps*4))
+	b.AddU(oPtr, oPtr, b.Arg(2))
+	t := b.Vec()
+	b.MovU(t, b.U(0))
+	next := make([]isa.Operand, states)
+	for s := range next {
+		next[s] = b.Vec()
+	}
+	b.Loop()
+	{
+		ob := b.Vec()
+		b.LoadGather(ob, oPtr)
+		for to := 0; to < states; to++ {
+			// next[to] = min over from of cost[from] + trans[from][to],
+			// plus emit[to][ob]. The min updates branch per lane.
+			b.MovU(next[to], b.U(0x0FFFFFFF))
+			for from := 0; from < states; from++ {
+				mark := b.Mark()
+				cand := b.Vec()
+				b.AddU(cand, cost[from], b.U(trans[from*states+to]))
+				b.CmpU(isa.F0, isa.CmpLT, cand, next[to])
+				b.If(isa.F0) // divergent: relaxation per lane
+				b.MovU(next[to], cand)
+				b.EndIf()
+				b.Release(mark)
+			}
+			// Emission lookup: emit[to*2 + ob].
+			mark := b.Mark()
+			eIdx := b.Vec()
+			b.AddU(eIdx, ob, b.U(uint32(to*2)))
+			eAddr := b.Addr(b.Arg(1), eIdx, 4)
+			ev := b.Vec()
+			b.LoadGather(ev, eAddr)
+			b.AddU(next[to], next[to], ev)
+			b.Release(mark)
+		}
+		for s := range cost {
+			b.MovU(cost[s], next[s])
+		}
+	}
+	b.AddU(oPtr, oPtr, b.U(4))
+	b.AddU(t, t, b.U(1))
+	b.CmpU(isa.F0, isa.CmpLT, t, b.U(steps))
+	b.While(isa.F0)
+	// Best final state cost, again via divergent relaxation.
+	best := b.Vec()
+	b.MovU(best, cost[0])
+	for s := 1; s < states; s++ {
+		b.CmpU(isa.F0, isa.CmpLT, cost[s], best)
+		b.If(isa.F0)
+		b.MovU(best, cost[s])
+		b.EndIf()
+	}
+	oAddr := b.Addr(b.Arg(3), b.GlobalID(), 4)
+	b.StoreScatter(oAddr, best)
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	bufTr := g.AllocU32(len(trans), trans)
+	bufEm := g.AllocU32(len(emit), emit)
+	bufOb := g.AllocU32(len(obs), obs)
+	bufO := g.AllocU32(n, make([]uint32, n))
+	spec := gpu.LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 64,
+		Args: []uint32{bufTr, bufEm, bufOb, bufO}}
+	check := func() error {
+		got := g.ReadBufferU32(bufO, n)
+		for w := 0; w < n; w++ {
+			cost := [states]uint32{0, 1, 2, 3}
+			for t := 0; t < steps; t++ {
+				ob := obs[w*steps+t]
+				var next [states]uint32
+				for to := 0; to < states; to++ {
+					best := uint32(0x0FFFFFFF)
+					for from := 0; from < states; from++ {
+						if c := cost[from] + trans[from*states+to]; c < best {
+							best = c
+						}
+					}
+					next[to] = best + emit[to*2+int(ob)]
+				}
+				cost = next
+			}
+			want := cost[0]
+			for s := 1; s < states; s++ {
+				if cost[s] < want {
+					want = cost[s]
+				}
+			}
+			if got[w] != want {
+				return fmt.Errorf("viterbi[%d] = %d, want %d", w, got[w], want)
+			}
+		}
+		return nil
+	}
+	return Single(spec, check), nil
+}

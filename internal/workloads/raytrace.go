@@ -1,0 +1,432 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"intrawarp/internal/gpu"
+	"intrawarp/internal/isa"
+	"intrawarp/internal/kbuild"
+)
+
+// Ray tracing workloads: primary-ray visibility (RT-PR-*) and ambient
+// occlusion (RT-AO-*) over four procedural scenes standing in for the
+// paper's conference / alien / bulldozer / windmill models (DESIGN.md
+// substitution 5). Scenes are sphere fields of varying density and size;
+// rays traverse a uniform acceleration grid (gathering per-cell sphere
+// lists from memory, like the paper's in-house tracer walks its BVH), so
+// the kernels exhibit both the control divergence (hit/miss, occlusion
+// early-out) and the memory traffic that drive the paper's Fig. 11
+// data-cluster analysis. AO kernels are also compiled at SIMD8 like the
+// paper's register-pressure-limited kernels.
+
+func init() {
+	for _, sc := range sceneNames() {
+		sc := sc
+		register(&Spec{Name: "rt-pr-" + sc, Class: "raytrace", Divergent: true, DefaultN: 1024,
+			Setup: func(g *gpu.GPU, n int) (*Instance, error) {
+				return setupRayTrace(g, n, sc, false, isa.SIMD16)
+			}})
+	}
+	for _, sc := range []string{"al", "bl", "wm"} {
+		sc := sc
+		register(&Spec{Name: "rt-ao-" + sc + "8", Class: "raytrace", Divergent: true, DefaultN: 576,
+			Setup: func(g *gpu.GPU, n int) (*Instance, error) {
+				return setupRayTrace(g, n, sc, true, isa.SIMD8)
+			}})
+		register(&Spec{Name: "rt-ao-" + sc + "16", Class: "raytrace", Divergent: true, DefaultN: 576,
+			Setup: func(g *gpu.GPU, n int) (*Instance, error) {
+				return setupRayTrace(g, n, sc, true, isa.SIMD16)
+			}})
+	}
+}
+
+func sceneNames() []string { return []string{"conf", "al", "bl", "wm"} }
+
+// scene is a procedural sphere field.
+type scene struct {
+	cx, cy, cz, r []float32
+}
+
+// genScene builds the sphere field for one of the four named scenes.
+func genScene(name string) *scene {
+	var count int
+	var radius float32
+	switch name {
+	case "conf": // dense interior, many occluders
+		count, radius = 48, 0.12
+	case "al": // sparse organic shapes
+		count, radius = 20, 0.16
+	case "bl": // medium-density machinery
+		count, radius = 32, 0.13
+	case "wm": // few large structures
+		count, radius = 12, 0.25
+	default:
+		panic("workloads: unknown scene " + name)
+	}
+	r := rng(int64(100 + len(name) + count))
+	s := &scene{}
+	for i := 0; i < count; i++ {
+		s.cx = append(s.cx, r.Float32()*2-1)
+		s.cy = append(s.cy, r.Float32()*2-1)
+		s.cz = append(s.cz, 1.5+r.Float32()*2)
+		s.r = append(s.r, radius*(0.6+0.8*r.Float32()))
+	}
+	return s
+}
+
+// Acceleration grid over [-1,1]²: gridDim×gridDim cells, border cells
+// extended to infinity so clamped out-of-range rays stay correct.
+const (
+	gridDim    = 8
+	cellSize   = 2.0 / gridDim
+	sentinel   = 0xFFFFFFFF
+	noiseSize  = 4096 // entries in the jitter table (power of two)
+	matSize    = 8192 // entries in the material texture (power of two)
+	aoRays     = 4
+	hashMulK   = 2654435761
+	probeHashK = 40503
+)
+
+// buildGrid returns, per cell, the ascending sphere indices whose xy-disk
+// intersects the (slightly inflated) cell rectangle, padded to a uniform
+// capacity with the sentinel.
+func buildGrid(sc *scene) (lists []uint32, cap int) {
+	const eps = 1e-4
+	cells := make([][]uint32, gridDim*gridDim)
+	for cy := 0; cy < gridDim; cy++ {
+		for cx := 0; cx < gridDim; cx++ {
+			x0 := -1 + float64(cx)*cellSize - eps
+			x1 := -1 + float64(cx+1)*cellSize + eps
+			y0 := -1 + float64(cy)*cellSize - eps
+			y1 := -1 + float64(cy+1)*cellSize + eps
+			if cx == 0 {
+				x0 = math.Inf(-1)
+			}
+			if cx == gridDim-1 {
+				x1 = math.Inf(1)
+			}
+			if cy == 0 {
+				y0 = math.Inf(-1)
+			}
+			if cy == gridDim-1 {
+				y1 = math.Inf(1)
+			}
+			for i := range sc.cx {
+				// Distance from sphere center to the rect.
+				dx := math.Max(0, math.Max(x0-float64(sc.cx[i]), float64(sc.cx[i])-x1))
+				dy := math.Max(0, math.Max(y0-float64(sc.cy[i]), float64(sc.cy[i])-y1))
+				if dx*dx+dy*dy <= float64(sc.r[i])*float64(sc.r[i]) {
+					cells[cy*gridDim+cx] = append(cells[cy*gridDim+cx], uint32(i))
+				}
+			}
+		}
+	}
+	for _, c := range cells {
+		if len(c) > cap {
+			cap = len(c)
+		}
+	}
+	if cap == 0 {
+		cap = 1
+	}
+	lists = make([]uint32, gridDim*gridDim*cap)
+	for ci, c := range cells {
+		for j := 0; j < cap; j++ {
+			if j < len(c) {
+				lists[ci*cap+j] = c[j]
+			} else {
+				lists[ci*cap+j] = sentinel
+			}
+		}
+	}
+	return lists, cap
+}
+
+// setupRayTrace renders an image of n pixels: one work-item per pixel,
+// orthographic rays along +z. ao=false shades by hit depth plus a
+// divergent glow term (primary rays); ao=true additionally casts
+// jittered occlusion probes from each hit point.
+func setupRayTrace(g *gpu.GPU, n int, sceneName string, ao bool, width isa.Width) (*Instance, error) {
+	sc := genScene(sceneName)
+	lists, cap := buildGrid(sc)
+	side := 1
+	for side*side < n {
+		side++
+	}
+
+	name := "rt-pr-" + sceneName
+	if ao {
+		name = fmt.Sprintf("rt-ao-%s%d", sceneName, width.Lanes())
+	}
+	// args: 0=cx 1=cy 2=cz 3=r 4=out 5=cell lists 6=noise
+	b := kbuild.New(name, width)
+
+	// Pixel position in [-1,1]² plus a gathered jitter (memory traffic).
+	pxI, pyI := b.Vec(), b.Vec()
+	b.Emit(isa.Instruction{Op: isa.OpDiv, DType: isa.U32, Dst: pyI, Src0: b.GlobalID(), Src1: b.U(uint32(side))})
+	t0 := b.Vec()
+	b.MulU(t0, pyI, b.U(uint32(side)))
+	b.SubU(pxI, b.GlobalID(), t0)
+	ox, oy := b.Vec(), b.Vec()
+	b.ToF(ox, pxI)
+	b.ToF(oy, pyI)
+	scale := 2.0 / float32(side-1)
+	b.Mad(ox, ox, b.F(scale), b.F(-1))
+	b.Mad(oy, oy, b.F(scale), b.F(-1))
+
+	gidHash := b.Vec()
+	b.MulU(gidHash, b.GlobalID(), b.U(hashMulK))
+	loadNoise := func(shift, add uint32) isa.Operand {
+		h := b.Vec()
+		b.AddU(h, gidHash, b.U(add))
+		b.Shr(h, h, b.U(shift))
+		b.And(h, h, b.U(noiseSize-1))
+		addr := b.Addr(b.Arg(6), h, 4)
+		v := b.Vec()
+		b.LoadGather(v, addr)
+		return v
+	}
+	jit := loadNoise(9, 0)
+	b.Mad(ox, jit, b.F(0.02), ox)
+
+	// intersect casts a ray from (rx,ry,0) along +z through the grid cell
+	// containing (rx,ry): gather the cell's sphere list, then test each
+	// listed sphere. glow may be isa.Null for probes.
+	intersect := func(rx, ry, glow isa.Operand) (tBest isa.Operand) {
+		cellx, celly := b.Vec(), b.Vec()
+		cf := b.Vec()
+		b.Add(cf, rx, b.F(1))
+		b.Mul(cf, cf, b.F(1/float32(cellSize)))
+		b.ToI(cellx, cf)
+		b.Emit(isa.Instruction{Op: isa.OpMax, DType: isa.S32, Dst: cellx, Src0: cellx, Src1: b.S(0)})
+		b.Emit(isa.Instruction{Op: isa.OpMin, DType: isa.S32, Dst: cellx, Src0: cellx, Src1: b.S(gridDim - 1)})
+		b.Add(cf, ry, b.F(1))
+		b.Mul(cf, cf, b.F(1/float32(cellSize)))
+		b.ToI(celly, cf)
+		b.Emit(isa.Instruction{Op: isa.OpMax, DType: isa.S32, Dst: celly, Src0: celly, Src1: b.S(0)})
+		b.Emit(isa.Instruction{Op: isa.OpMin, DType: isa.S32, Dst: celly, Src0: celly, Src1: b.S(gridDim - 1)})
+		listPtr := b.Vec()
+		b.MadU(listPtr, celly, b.U(gridDim), cellx)
+		b.MulU(listPtr, listPtr, b.U(uint32(cap*4)))
+		b.AddU(listPtr, listPtr, b.Arg(5))
+
+		tBest = b.Vec()
+		b.Mov(tBest, b.F(1e30))
+		for j := 0; j < cap; j++ {
+			mark := b.Mark()
+			idx := b.Vec()
+			b.LoadGather(idx, listPtr)
+			b.AddU(listPtr, listPtr, b.U(4))
+			b.CmpU(isa.F1, isa.CmpNE, idx, b.U(sentinel))
+			b.If(isa.F1) // divergent: lanes in fuller cells keep going
+			{
+				// Sphere data lives in 64-byte primitive records (like BVH
+				// leaf nodes), so per-lane index divergence becomes cache
+				// line divergence — the paper's memory-hungry RT behaviour.
+				load := func(arg int) isa.Operand {
+					a := b.Addr(b.Arg(arg), idx, 64)
+					v := b.Vec()
+					b.LoadGather(v, a)
+					return v
+				}
+				cx, cy, cz, rr := load(0), load(1), load(2), load(3)
+				// Material texture lookup at a per-lane scattered index —
+				// the texture traffic that makes the paper's tracer lean
+				// on data-cluster bandwidth.
+				mi := b.Vec()
+				b.MulU(mi, idx, b.U(97))
+				hs := b.Vec()
+				b.Shr(hs, gidHash, b.U(4))
+				b.AddU(mi, mi, hs)
+				b.And(mi, mi, b.U(matSize-1))
+				mAddr := b.Addr(b.Arg(7), mi, 4)
+				matv := b.Vec()
+				b.LoadGather(matv, mAddr)
+				dx, dy := b.Vec(), b.Vec()
+				b.Sub(dx, cx, rx)
+				b.Sub(dy, cy, ry)
+				d2 := b.Vec()
+				b.Mul(d2, dx, dx)
+				b.Mad(d2, dy, dy, d2)
+				r2 := b.Vec()
+				b.Mul(r2, rr, rr)
+				b.Cmp(isa.F0, isa.CmpLT, d2, r2)
+				b.If(isa.F0) // divergent: this ray pierces this sphere
+				h := b.Vec()
+				b.Sub(h, r2, d2)
+				b.Sqrt(h, h)
+				tt := b.Vec()
+				b.Sub(tt, cz, h)
+				b.Min(tBest, tBest, tt)
+				if glow.Kind != isa.RegNull {
+					att := b.Vec()
+					b.Mul(att, tt, b.F(-0.7))
+					b.Exp(att, att)
+					b.Mul(att, att, matv)
+					b.Add(glow, glow, att)
+				}
+				b.EndIf()
+			}
+			b.EndIf()
+			b.Release(mark)
+		}
+		return tBest
+	}
+
+	glow := b.Vec()
+	b.Mov(glow, b.F(0))
+	tBest := intersect(ox, oy, glow)
+	hitF := isa.F0
+	b.Cmp(hitF, isa.CmpLT, tBest, b.F(1e29))
+	out := b.Vec()
+	b.If(hitF)
+	{
+		b.Mov(out, b.F(3.5))
+		b.Sub(out, out, tBest)
+		b.Mad(out, glow, b.F(0.1), out)
+		if ao {
+			// Occlusion probes: jittered lateral offsets re-traverse the
+			// grid; only hit pixels run this, and every probe diverges
+			// again on its own cell contents and hits.
+			amb := b.Vec()
+			b.Mov(amb, b.F(0))
+			for k := 0; k < aoRays; k++ {
+				ang := 2 * math.Pi * float64(k) / aoRays
+				mark := b.Mark()
+				nv := loadNoise(7, uint32(k*probeHashK))
+				radius := b.Vec()
+				b.Mad(radius, nv, b.F(0.2), b.F(0.15))
+				axx, ayy := b.Vec(), b.Vec()
+				co, si := b.Vec(), b.Vec()
+				b.Mul(co, radius, b.F(float32(math.Cos(ang))))
+				b.Mul(si, radius, b.F(float32(math.Sin(ang))))
+				b.Add(axx, ox, co)
+				b.Add(ayy, oy, si)
+				at := intersect(axx, ayy, isa.Null)
+				b.Cmp(isa.F1, isa.CmpGE, at, b.F(1e29))
+				b.If(isa.F1) // unoccluded probe
+				b.Add(amb, amb, b.F(1.0/aoRays))
+				b.EndIf()
+				b.Release(mark)
+			}
+			b.Mul(out, out, amb)
+		}
+	}
+	b.Else()
+	b.Mov(out, b.F(0.05)) // background
+	b.EndIf()
+	oAddr := b.Addr(b.Arg(4), b.GlobalID(), 4)
+	b.StoreScatter(oAddr, out)
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Device buffers. Sphere components are strided one cache line per
+	// sphere to model 64-byte primitive records.
+	nSph := len(sc.cx)
+	padF32 := func(vals []float32) uint32 {
+		base := g.Mem.Mem.Alloc(len(vals) * 64)
+		for i, v := range vals {
+			g.Mem.Mem.WriteU32(base+uint32(i*64), isa.F32ToBits(v))
+		}
+		return base
+	}
+	bufCX := padF32(sc.cx)
+	bufCY := padF32(sc.cy)
+	bufCZ := padF32(sc.cz)
+	bufR := padF32(sc.r)
+	bufOut := g.AllocF32(n, make([]float32, n))
+	bufCells := g.AllocU32(len(lists), lists)
+	nr := rng(99)
+	noise := make([]float32, noiseSize)
+	for i := range noise {
+		noise[i] = nr.Float32()
+	}
+	bufNoise := g.AllocF32(noiseSize, noise)
+	mr := rng(98)
+	mat := make([]float32, matSize)
+	for i := range mat {
+		mat[i] = 0.5 + mr.Float32()
+	}
+	bufMat := g.AllocF32(matSize, mat)
+
+	group := 64
+	if width == isa.SIMD8 {
+		group = 32
+	}
+	spec := gpu.LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: group,
+		Args: []uint32{bufCX, bufCY, bufCZ, bufR, bufOut, bufCells, bufNoise, bufMat}}
+
+	check := func() error {
+		// Host reference mirrors the device's float32 arithmetic exactly,
+		// operation for operation, over the brute-force sphere set (the
+		// grid lists are conservative supersets, so hit sets agree).
+		intersectHost := func(gid uint32, rx, ry float32, wantGlow bool) (float32, float32) {
+			tB := float32(1e30)
+			var glowH float32
+			for i := 0; i < nSph; i++ {
+				dx := sc.cx[i] - rx
+				dy := sc.cy[i] - ry
+				d2 := dx * dx
+				d2 = madf32(dy, dy, d2)
+				r2 := sc.r[i] * sc.r[i]
+				if d2 < r2 {
+					h := r2 - d2
+					h = float32(math.Sqrt(float64(h)))
+					tt := sc.cz[i] - h
+					if tt < tB {
+						tB = tt
+					}
+					if wantGlow {
+						att := tt * float32(-0.7)
+						att = float32(math.Exp2(float64(att)))
+						mIdx := (uint32(i)*97 + (gid*hashMulK)>>4) & (matSize - 1)
+						att = att * mat[mIdx]
+						glowH += att
+					}
+				}
+			}
+			return tB, glowH
+		}
+		noiseAt := func(gid uint32, shift, add uint32) float32 {
+			h := gid*hashMulK + add
+			return noise[(h>>shift)&(noiseSize-1)]
+		}
+		got := g.ReadBufferF32(bufOut, n)
+		for i := 0; i < n; i++ {
+			gid := uint32(i)
+			px := madf32(float32(i%side), scale, -1)
+			py := madf32(float32(i/side), scale, -1)
+			px = madf32(noiseAt(gid, 9, 0), 0.02, px)
+			tB, glowH := intersectHost(gid, px, py, true)
+			var want float32
+			if tB >= 1e29 {
+				want = 0.05
+			} else {
+				want = 3.5 - tB
+				want = madf32(glowH, 0.1, want)
+				if ao {
+					var amb float32
+					for kk := 0; kk < aoRays; kk++ {
+						ang := 2 * math.Pi * float64(kk) / aoRays
+						radius := madf32(noiseAt(gid, 7, uint32(kk*probeHashK)), 0.2, 0.15)
+						co := radius * float32(math.Cos(ang))
+						si := radius * float32(math.Sin(ang))
+						at, _ := intersectHost(gid, px+co, py+si, false)
+						if at >= 1e29 {
+							amb += 1.0 / aoRays
+						}
+					}
+					want *= amb
+				}
+			}
+			if !almostEqual(got[i], want, 5e-3) {
+				return fmt.Errorf("pixel %d = %v, want %v", i, got[i], want)
+			}
+		}
+		return nil
+	}
+	return Single(spec, check), nil
+}

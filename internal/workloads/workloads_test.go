@@ -1,0 +1,161 @@
+package workloads
+
+import (
+	"testing"
+
+	"intrawarp/internal/compaction"
+	"intrawarp/internal/gpu"
+)
+
+// testScale gives a reduced problem size per workload so the full suite
+// verifies quickly; zero means use the default.
+var testScale = map[string]int{
+	"vecadd":         512,
+	"dotproduct":     512,
+	"blackscholes":   256,
+	"dct8":           256,
+	"mersenne":       256,
+	"mvm":            32,
+	"matmul":         16,
+	"transpose":      32,
+	"sobel":          34, // 32x32 interior divides evenly into SIMD16
+	"bfs":            256,
+	"lavamd":         128,
+	"nw":             24,
+	"particlefilter": 128,
+	"eigenvalue":     64,
+	"bsearch":        256,
+	"bitonic":        256,
+	"hotspot":        32,
+}
+
+func rtScale(name string) int { return 144 }
+
+func scaleFor(s *Spec) int {
+	if n, ok := testScale[s.Name]; ok {
+		return n
+	}
+	if s.Class == "raytrace" {
+		return rtScale(s.Name)
+	}
+	return 0
+}
+
+// Every registered workload must run functionally and pass its host-side
+// verification.
+func TestAllWorkloadsFunctional(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			g := gpu.New(gpu.DefaultConfig())
+			run, err := Execute(g, s, scaleFor(s), false)
+			if err != nil {
+				t.Fatalf("%v", err)
+			}
+			if run.Instructions == 0 {
+				t.Fatal("no instructions recorded")
+			}
+			eff := run.SIMDEfficiency()
+			if eff <= 0 || eff > 1 {
+				t.Fatalf("efficiency %v out of range", eff)
+			}
+		})
+	}
+}
+
+// The expected coherent/divergent classification (paper Fig. 3) must hold
+// at default problem sizes.
+func TestClassification(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			g := gpu.New(gpu.DefaultConfig())
+			run, err := Execute(g, s, scaleFor(s), false)
+			if err != nil {
+				t.Fatalf("%v", err)
+			}
+			if got := run.Divergent(); got != s.Divergent {
+				t.Fatalf("divergent = %v (efficiency %.3f), expected %v",
+					got, run.SIMDEfficiency(), s.Divergent)
+			}
+		})
+	}
+}
+
+// Divergent workloads must show an SCC EU-cycle reduction; coherent ones
+// must be (nearly) untouched — the paper's core claim.
+func TestCompactionBenefitByClass(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			g := gpu.New(gpu.DefaultConfig())
+			run, err := Execute(g, s, scaleFor(s), false)
+			if err != nil {
+				t.Fatalf("%v", err)
+			}
+			scc := run.EUCycleReduction(compaction.SCC)
+			bcc := run.EUCycleReduction(compaction.BCC)
+			if scc < bcc {
+				t.Fatalf("SCC reduction (%v) below BCC (%v)", scc, bcc)
+			}
+			if s.Divergent && scc <= 0.01 {
+				t.Fatalf("divergent workload shows no SCC benefit (%.3f)", scc)
+			}
+			if !s.Divergent && scc > 0.10 {
+				t.Fatalf("coherent workload shows implausible SCC benefit (%.3f)", scc)
+			}
+		})
+	}
+}
+
+// A timed smoke test across the divergent sim set: stronger policies must
+// not increase EU busy cycles.
+func TestTimedDivergentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed sweep is slow")
+	}
+	for _, name := range []string{"bfs", "hotspot", "rt-pr-conf"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var busy [compaction.NumPolicies]int64
+		for _, p := range compaction.Policies {
+			g := gpu.New(gpu.DefaultConfig().WithPolicy(p))
+			run, err := Execute(g, s, scaleFor(s), true)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, p, err)
+			}
+			busy[p] = run.EUBusy
+		}
+		if !(busy[compaction.SCC] <= busy[compaction.BCC] &&
+			busy[compaction.BCC] <= busy[compaction.IvyBridge] &&
+			busy[compaction.IvyBridge] <= busy[compaction.Baseline]) {
+			t.Fatalf("%s: EU busy ordering violated: %v", name, busy)
+		}
+		if busy[compaction.SCC] >= busy[compaction.IvyBridge] {
+			t.Fatalf("%s: no timed SCC benefit: %v", name, busy)
+		}
+	}
+}
+
+func TestRegistryLookups(t *testing.T) {
+	if _, err := ByName("bfs"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if len(ByClass("rodinia")) < 4 {
+		t.Fatal("rodinia class incomplete")
+	}
+	div := DivergentSimSet()
+	if len(div) < 10 {
+		t.Fatalf("divergent sim set too small: %d", len(div))
+	}
+	for i := 1; i < len(div); i++ {
+		if div[i-1].Name >= div[i].Name {
+			t.Fatal("divergent set not sorted")
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package intrawarp is a cycle-level simulator and analysis toolkit for
+// intra-warp SIMD divergence compaction, reproducing "SIMD Divergence
+// Optimization through Intra-Warp Compaction" (Vaidya, Shayesteh, Woo,
+// Saharoy, Azimi — ISCA 2013).
+//
+// The library models an Intel Ivy Bridge-like GPU — multi-threaded EUs
+// with 4-wide execution pipes running variable-width SIMD instructions
+// over multiple cycles, a banked SLM / L3 / LLC / DRAM memory hierarchy
+// behind a bandwidth-limited data cluster — and implements the paper's
+// two cycle-compression techniques plus the pre-existing Ivy Bridge
+// half-off optimization:
+//
+//   - BCC (Basic Cycle Compression) skips the execution cycles of aligned
+//     lane groups that are entirely predicated off.
+//   - SCC (Swizzled Cycle Compression) permutes enabled lanes through 4×4
+//     crossbars so every instruction executes in ceil(active/4) cycles;
+//     the crossbar control algorithm is the paper's Fig. 6.
+//
+// Quick start:
+//
+//	g := intrawarp.NewGPU(intrawarp.DefaultConfig().WithPolicy(intrawarp.SCC))
+//	b := intrawarp.NewKernel("scale", intrawarp.SIMD16)
+//	addr := b.Addr(b.Arg(0), b.GlobalID(), 4)
+//	v := b.Vec()
+//	b.LoadGather(v, addr)
+//	b.Mul(v, v, b.F(2))
+//	b.StoreScatter(addr, v)
+//	kernel := b.MustBuild()
+//	run, err := g.Run(intrawarp.LaunchSpec{Kernel: kernel, GlobalSize: 1024, GroupSize: 64, Args: []uint32{buf}})
+//
+// The workload library (internal/workloads, surfaced through Workloads and
+// RunWorkload) carries the paper's benchmark suite; the experiments
+// registry (Experiments, RunExperiment) regenerates every table and
+// figure of the evaluation. See DESIGN.md and EXPERIMENTS.md.
+package intrawarp
+
+import (
+	"io"
+
+	"intrawarp/internal/asm"
+	"intrawarp/internal/compaction"
+	"intrawarp/internal/experiments"
+	"intrawarp/internal/gpu"
+	"intrawarp/internal/isa"
+	"intrawarp/internal/kbuild"
+	"intrawarp/internal/mask"
+	"intrawarp/internal/stats"
+	"intrawarp/internal/trace"
+	"intrawarp/internal/workloads"
+)
+
+// Core types, re-exported from the implementation packages.
+type (
+	// Policy selects a cycle-compression scheme.
+	Policy = compaction.Policy
+	// Schedule is an SCC per-cycle crossbar plan (paper Fig. 6/7).
+	Schedule = compaction.Schedule
+	// Mask is a SIMD execution mask.
+	Mask = mask.Mask
+	// Config describes the simulated GPU.
+	Config = gpu.Config
+	// GPU is the simulated compute cluster.
+	GPU = gpu.GPU
+	// LaunchSpec is one kernel launch (1-D NDRange).
+	LaunchSpec = gpu.LaunchSpec
+	// Kernel is a compiled kernel.
+	Kernel = isa.Kernel
+	// Program is a kernel's instruction sequence.
+	Program = isa.Program
+	// Width is a SIMD execution width.
+	Width = isa.Width
+	// Builder assembles kernels.
+	Builder = kbuild.Builder
+	// Run holds the statistics of one execution.
+	Run = stats.Run
+	// Workload is a registered benchmark.
+	Workload = workloads.Spec
+	// TraceRecord is one instruction's execution-mask trace entry.
+	TraceRecord = trace.Record
+	// Experiment reproduces one paper table or figure.
+	Experiment = experiments.Experiment
+)
+
+// Compaction policies, weakest to strongest.
+const (
+	Baseline  = compaction.Baseline
+	IvyBridge = compaction.IvyBridge
+	BCC       = compaction.BCC
+	SCC       = compaction.SCC
+)
+
+// SIMD widths.
+const (
+	SIMD1  = isa.SIMD1
+	SIMD4  = isa.SIMD4
+	SIMD8  = isa.SIMD8
+	SIMD16 = isa.SIMD16
+	SIMD32 = isa.SIMD32
+)
+
+// Flag is a per-thread predicate flag register.
+type Flag = isa.FlagReg
+
+// Cond is a comparison condition for Cmp emitters.
+type Cond = isa.CondMod
+
+// Flag registers.
+const (
+	F0 = isa.F0
+	F1 = isa.F1
+)
+
+// Comparison conditions.
+const (
+	CmpEQ = isa.CmpEQ
+	CmpNE = isa.CmpNE
+	CmpLT = isa.CmpLT
+	CmpLE = isa.CmpLE
+	CmpGT = isa.CmpGT
+	CmpGE = isa.CmpGE
+)
+
+// DefaultConfig returns the paper's Table 3 machine configuration.
+func DefaultConfig() Config { return gpu.DefaultConfig() }
+
+// NewGPU builds a simulated GPU.
+func NewGPU(cfg Config) *GPU { return gpu.New(cfg) }
+
+// NewKernel starts building a kernel of the given SIMD width.
+func NewKernel(name string, width Width) *Builder { return kbuild.New(name, width) }
+
+// Assemble parses a textual kernel in the disassembly syntax (labels,
+// predicates, immediates — see internal/asm). The inverse is
+// Program.Disassemble.
+func Assemble(src string) (Program, error) { return asm.Assemble(src) }
+
+// Cycles returns the execution-pipe cycles an instruction with execution
+// mask m, SIMD width width, and element group size group occupies under
+// policy p.
+func Cycles(p Policy, m Mask, width, group int) int { return p.Cycles(m, width, group) }
+
+// ComputeSchedule runs the SCC crossbar-setting algorithm of paper Fig. 6.
+func ComputeSchedule(m Mask, width, group int) *Schedule {
+	return compaction.ComputeSchedule(m, width, group)
+}
+
+// Workloads returns the registered benchmark suite.
+func Workloads() []*Workload { return workloads.All() }
+
+// WorkloadByName finds a registered benchmark.
+func WorkloadByName(name string) (*Workload, error) { return workloads.ByName(name) }
+
+// RunWorkload executes a benchmark on g (timed when timed is true,
+// functional otherwise) at problem size n (0 = default) and returns its
+// statistics after host-side verification.
+func RunWorkload(g *GPU, w *Workload, n int, timed bool) (*Run, error) {
+	return workloads.Execute(g, w, n, timed)
+}
+
+// Experiments returns the paper-reproduction registry.
+func Experiments() []*Experiment { return experiments.All() }
+
+// RunExperiment regenerates one table or figure, writing its rendering to
+// out. quick selects reduced problem sizes.
+func RunExperiment(id string, out io.Writer, quick bool) error {
+	return experiments.Run(id, &experiments.Context{Out: out, Quick: quick})
+}
+
+// AnalyzeTrace replays execution-mask records through all compaction cost
+// models.
+func AnalyzeTrace(name string, records []TraceRecord) *Run {
+	return trace.Analyze(name, &trace.SliceSource{Records: records})
+}
