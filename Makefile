@@ -1,0 +1,28 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs `make check`.
+
+GO ?= go
+
+.PHONY: build vet test race check bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race runs include a pass with the statsguard build tag, which arms
+# the stats.Run single-writer ownership assertion (internal/stats). The
+# guard resolves the writing goroutine's id via runtime.Stack on every
+# record, so the tagged pass is scoped to the engine packages that
+# exercise shard ownership rather than the whole experiment suite.
+race:
+	$(GO) test -race ./...
+	$(GO) test -race -tags statsguard ./internal/stats/ ./internal/gpu/ ./internal/workloads/ ./internal/par/
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

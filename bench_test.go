@@ -1,6 +1,7 @@
 package intrawarp
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -121,6 +122,53 @@ func BenchmarkFunctionalThroughput(b *testing.B) {
 		if _, err := workloads.Execute(g, w, 256, false); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelSweep measures wall-clock scaling of the parallel
+// experiment engine on a multi-workload policy sweep (the Fig. 11/12-style
+// workload × policy × bandwidth cell grid). Sub-benchmarks fix the worker
+// count; near-linear scaling shows as workers=4 running at a fraction of
+// workers=1 ns/op. Run with:
+//
+//	go test -bench BenchmarkParallelSweep -benchtime 2x
+func BenchmarkParallelSweep(b *testing.B) {
+	sweep := func(workers int) error {
+		ctx := &experiments.Context{Out: io.Discard, Quick: true, Workers: workers}
+		for _, id := range []string{"fig11", "fig12"} {
+			if err := experiments.Run(id, ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := sweep(workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelFunctional measures workgroup-sharding scaling of the
+// parallel functional engine on one large launch.
+func BenchmarkParallelFunctional(b *testing.B) {
+	w, err := workloads.ByName("bsearch")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := gpu.New(gpu.DefaultConfig().WithWorkers(workers))
+				if _, err := workloads.ExecuteOpts(g, w, workloads.ExecOptions{Size: 8192}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

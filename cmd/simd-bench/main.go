@@ -6,6 +6,7 @@
 //	simd-bench -exp fig10         run one experiment
 //	simd-bench -all               run everything
 //	simd-bench -all -quick        reduced problem sizes
+//	simd-bench -all -workers 4    bound the worker pool
 package main
 
 import (
@@ -13,31 +14,38 @@ import (
 	"fmt"
 	"os"
 
-	"intrawarp/internal/experiments"
+	"intrawarp"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiments and exit")
-		exp   = flag.String("exp", "", "experiment ID to run")
-		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "reduced problem sizes")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "", "experiment ID to run")
+		all     = flag.Bool("all", false, "run every experiment")
+		quick   = flag.Bool("quick", false, "reduced problem sizes")
+		workers = flag.Int("workers", 0, "worker pool size for experiment cells (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, e := range experiments.All() {
+		for _, e := range intrawarp.Experiments() {
 			fmt.Printf("%-18s %s\n", e.ID, e.Title)
 		}
 		return
 	}
-	ctx := &experiments.Context{Out: os.Stdout, Quick: *quick}
+	opts := []intrawarp.ExperimentOption{
+		intrawarp.WithOutput(os.Stdout),
+		intrawarp.WithWorkers(*workers),
+	}
+	if *quick {
+		opts = append(opts, intrawarp.WithQuick())
+	}
 	var err error
 	switch {
 	case *all:
-		err = experiments.RunAll(ctx)
+		err = intrawarp.RunAllExperiments(opts...)
 	case *exp != "":
-		err = experiments.Run(*exp, ctx)
+		err = intrawarp.RunExperiment(*exp, opts...)
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -5,7 +5,7 @@
 //
 //	simd-sim -list
 //	simd-sim -workload bfs [-policy scc] [-n 1024] [-dc 2] [-perfect-l3]
-//	         [-functional] [-disasm]
+//	         [-functional] [-workers 4] [-disasm]
 package main
 
 import (
@@ -13,9 +13,7 @@ import (
 	"fmt"
 	"os"
 
-	"intrawarp/internal/compaction"
-	"intrawarp/internal/gpu"
-	"intrawarp/internal/workloads"
+	"intrawarp"
 )
 
 func main() {
@@ -27,6 +25,7 @@ func main() {
 		dc         = flag.Int("dc", 1, "data-cluster bandwidth in lines/cycle (paper DC1=1, DC2=2)")
 		perfectL3  = flag.Bool("perfect-l3", false, "model a perfect (always-hit) L3")
 		functional = flag.Bool("functional", false, "functional-only run (no timing)")
+		workers    = flag.Int("workers", 0, "functional-engine worker pool size (0 = GOMAXPROCS)")
 		compare    = flag.Bool("compare", false, "run all four policies and compare timing")
 		jsonOut    = flag.Bool("json", false, "emit the run report as JSON")
 	)
@@ -34,7 +33,7 @@ func main() {
 
 	if *list {
 		fmt.Printf("%-22s %-10s %s\n", "workload", "class", "divergent")
-		for _, s := range workloads.All() {
+		for _, s := range intrawarp.Workloads() {
 			fmt.Printf("%-22s %-10s %v\n", s.Name, s.Class, s.Divergent)
 		}
 		return
@@ -43,34 +42,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simd-sim: -workload required (use -list)")
 		os.Exit(2)
 	}
-	spec, err := workloads.ByName(*name)
+	spec, err := intrawarp.WorkloadByName(*name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simd-sim:", err)
 		os.Exit(2)
 	}
-	policy, err := compaction.ParsePolicy(*policyStr)
+	policy, err := intrawarp.ParsePolicy(*policyStr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simd-sim:", err)
 		os.Exit(2)
 	}
 
-	mkCfg := func(p compaction.Policy) gpu.Config {
-		cfg := gpu.DefaultConfig().WithPolicy(p)
-		cfg.Mem.DCLinesPerCycle = *dc
-		cfg.Mem.PerfectL3 = *perfectL3
-		return cfg
+	mkGPU := func(p intrawarp.Policy) *intrawarp.GPU {
+		opts := []intrawarp.ConfigOption{
+			intrawarp.WithPolicy(p),
+			intrawarp.WithDCBandwidth(*dc),
+			intrawarp.WithWorkers(*workers),
+		}
+		if *perfectL3 {
+			opts = append(opts, intrawarp.WithPerfectL3())
+		}
+		g, err := intrawarp.NewGPU(opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simd-sim:", err)
+			os.Exit(2)
+		}
+		return g
 	}
 
 	if *compare {
 		fmt.Printf("%-10s %-14s %-14s %-10s\n", "policy", "total cycles", "EU busy", "vs ivb")
 		var ref int64
-		for _, p := range compaction.Policies {
-			run, err := workloads.Execute(gpu.New(mkCfg(p)), spec, *n, true)
+		for _, pname := range []string{"baseline", "ivb", "bcc", "scc"} {
+			p, _ := intrawarp.ParsePolicy(pname)
+			run, err := intrawarp.RunWorkload(mkGPU(p), spec,
+				intrawarp.WithSize(*n), intrawarp.WithTimed())
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "simd-sim:", err)
 				os.Exit(1)
 			}
-			if p == compaction.IvyBridge {
+			if p == intrawarp.IvyBridge {
 				ref = run.TotalCycles
 			}
 			rel := "-"
@@ -82,8 +93,11 @@ func main() {
 		return
 	}
 
-	g := gpu.New(mkCfg(policy))
-	run, err := workloads.Execute(g, spec, *n, !*functional)
+	runOpts := []intrawarp.RunOption{intrawarp.WithSize(*n)}
+	if !*functional {
+		runOpts = append(runOpts, intrawarp.WithTimed())
+	}
+	run, err := intrawarp.RunWorkload(mkGPU(policy), spec, runOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simd-sim:", err)
 		os.Exit(1)

@@ -61,7 +61,10 @@ func main() {
 
 	// Capture the execution-mask trace from a functional run.
 	var records []intrawarp.TraceRecord
-	g := intrawarp.NewGPU(intrawarp.DefaultConfig())
+	g, err := intrawarp.NewGPU()
+	if err != nil {
+		log.Fatal(err)
+	}
 	out := g.AllocU32(n, make([]uint32, n))
 	spec := intrawarp.LaunchSpec{Kernel: kernel, GlobalSize: n, GroupSize: 64, Args: []uint32{out}}
 	if _, err := g.RunFunctional(spec, func(_, _ int, res eu.ExecResult) {

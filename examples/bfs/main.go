@@ -29,10 +29,15 @@ func main() {
 	busies := map[key]int64{}
 	for _, pl3 := range []bool{false, true} {
 		for _, p := range []intrawarp.Policy{intrawarp.IvyBridge, intrawarp.SCC} {
-			cfg := intrawarp.DefaultConfig().WithPolicy(p)
-			cfg.Mem.PerfectL3 = pl3
-			g := intrawarp.NewGPU(cfg)
-			run, err := intrawarp.RunWorkload(g, w, n, true)
+			opts := []intrawarp.ConfigOption{intrawarp.WithPolicy(p)}
+			if pl3 {
+				opts = append(opts, intrawarp.WithPerfectL3())
+			}
+			g, err := intrawarp.NewGPU(opts...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			run, err := intrawarp.RunWorkload(g, w, intrawarp.WithSize(n), intrawarp.WithTimed())
 			if err != nil {
 				log.Fatal(err)
 			}

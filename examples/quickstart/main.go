@@ -37,7 +37,10 @@ func main() {
 	for _, policy := range []intrawarp.Policy{
 		intrawarp.Baseline, intrawarp.IvyBridge, intrawarp.BCC, intrawarp.SCC,
 	} {
-		g := intrawarp.NewGPU(intrawarp.DefaultConfig().WithPolicy(policy))
+		g, err := intrawarp.NewGPU(intrawarp.WithPolicy(policy))
+		if err != nil {
+			log.Fatal(err)
+		}
 		data := make([]float32, n)
 		for i := range data {
 			data[i] = float32(i) + 1

@@ -24,10 +24,12 @@ func main() {
 	}
 	var results []result
 	for _, p := range []intrawarp.Policy{intrawarp.IvyBridge, intrawarp.BCC, intrawarp.SCC} {
-		cfg := intrawarp.DefaultConfig().WithPolicy(p)
-		cfg.Mem.DCLinesPerCycle = 2 // the paper's better-provisioned DC2 machine
-		g := intrawarp.NewGPU(cfg)
-		run, err := intrawarp.RunWorkload(g, w, n, true)
+		// DC2 is the paper's better-provisioned data-cluster machine.
+		g, err := intrawarp.NewGPU(intrawarp.WithPolicy(p), intrawarp.WithDCBandwidth(2))
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := intrawarp.RunWorkload(g, w, intrawarp.WithSize(n), intrawarp.WithTimed())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -35,8 +37,11 @@ func main() {
 	}
 
 	// Re-render functionally just to produce the picture.
-	g := intrawarp.NewGPU(intrawarp.DefaultConfig())
-	if _, err := intrawarp.RunWorkload(g, w, n, false); err != nil {
+	g, err := intrawarp.NewGPU()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := intrawarp.RunWorkload(g, w, intrawarp.WithSize(n)); err != nil {
 		log.Fatal(err)
 	}
 

@@ -7,6 +7,7 @@ import (
 	"intrawarp/internal/compaction"
 	"intrawarp/internal/gpu"
 	"intrawarp/internal/mask"
+	"intrawarp/internal/par"
 	"intrawarp/internal/stats"
 	"intrawarp/internal/trace"
 	"intrawarp/internal/workloads"
@@ -23,26 +24,40 @@ func init() {
 
 // workloadRuns executes every registered workload functionally and every
 // synthetic trace, returning all runs keyed by origin ("sim" / "trace").
-func workloadRuns(quick bool) (sim, traces []*stats.Run, err error) {
-	for _, s := range workloads.All() {
-		g := gpu.New(gpu.DefaultConfig())
+// Workloads and traces fan out over a worker pool of the given size
+// (below 1 selects GOMAXPROCS); results land in registry order, so the
+// returned slices are identical at any worker count.
+func workloadRuns(quick bool, workers int) (sim, traces []*stats.Run, err error) {
+	all := workloads.All()
+	sim = make([]*stats.Run, len(all))
+	if err := par.ForErr(workers, len(all), func(i int) error {
+		s := all[i]
+		// Each cell owns a private GPU; keep its functional engine serial
+		// so parallelism lives at the cell level, not nested below it.
+		g := gpu.New(gpu.DefaultConfig().WithWorkers(1))
 		n := 0
 		if quick {
 			n = quickScale(s)
 		}
-		run, err := workloads.Execute(g, s, n, false)
+		run, err := workloads.ExecuteOpts(g, s, workloads.ExecOptions{Size: n})
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		sim = append(sim, run)
+		sim[i] = run
+		return nil
+	}); err != nil {
+		return nil, nil, err
 	}
-	for _, p := range trace.SynthAll() {
+	progs := trace.SynthAll()
+	traces = make([]*stats.Run, len(progs))
+	par.For(workers, len(progs), func(i int) {
+		p := progs[i]
 		pp := *p
 		if quick {
 			pp.Instr = p.Instr / 10
 		}
-		traces = append(traces, trace.Analyze(p.Name, &trace.SliceSource{Records: pp.Generate()}))
-	}
+		traces[i] = trace.Analyze(p.Name, &trace.SliceSource{Records: pp.Generate()})
+	})
 	return sim, traces, nil
 }
 
@@ -72,7 +87,7 @@ func quickScale(s *workloads.Spec) int {
 }
 
 func runFig3(ctx *Context) error {
-	sim, traces, err := workloadRuns(ctx.Quick)
+	sim, traces, err := workloadRuns(ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}
@@ -91,7 +106,7 @@ func runFig3(ctx *Context) error {
 }
 
 func runFig9(ctx *Context) error {
-	sim, traces, err := workloadRuns(ctx.Quick)
+	sim, traces, err := workloadRuns(ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}
@@ -141,8 +156,8 @@ type Fig10Row struct {
 
 // Fig10 computes the headline compaction benefit for every divergent
 // workload, execution-driven and trace-based.
-func Fig10(quick bool) ([]Fig10Row, error) {
-	sim, traces, err := workloadRuns(quick)
+func Fig10(quick bool, workers int) ([]Fig10Row, error) {
+	sim, traces, err := workloadRuns(quick, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +177,7 @@ func Fig10(quick bool) ([]Fig10Row, error) {
 }
 
 func runFig10(ctx *Context) error {
-	rows, err := Fig10(ctx.Quick)
+	rows, err := Fig10(ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}

@@ -8,15 +8,26 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
+
+	"intrawarp/internal/par"
 )
 
 // Context carries experiment options.
 type Context struct {
 	Out   io.Writer
 	Quick bool // reduced problem sizes for fast runs
+
+	// Workers bounds the worker pool used for independent experiment
+	// cells (policy × workload × machine-configuration combinations) and,
+	// in RunAll, for whole experiments. Values below 1 select
+	// runtime.GOMAXPROCS(0); 1 forces serial execution. Cell results are
+	// indexed, so output rendering is ordered and byte-identical at any
+	// worker count.
+	Workers int
 }
 
 func (c *Context) printf(format string, args ...interface{}) {
@@ -62,14 +73,28 @@ func Run(id string, ctx *Context) error {
 	return e.Run(ctx)
 }
 
-// RunAll executes every experiment in ID order.
+// RunAll executes every experiment. Experiments run concurrently on the
+// context's worker pool, each rendering into a private buffer; buffers
+// are flushed to ctx.Out in ID order, so the combined report is
+// byte-identical to a serial run. The first failing experiment (in ID
+// order) determines the returned error.
 func RunAll(ctx *Context) error {
-	for _, e := range All() {
-		ctx.printf("== %s: %s ==\n", e.ID, e.Title)
-		if err := e.Run(ctx); err != nil {
-			return fmt.Errorf("experiments: %s: %w", e.ID, err)
+	all := All()
+	bufs := make([]bytes.Buffer, len(all))
+	errs := make([]error, len(all))
+	par.For(ctx.Workers, len(all), func(i int) {
+		sub := &Context{Out: &bufs[i], Quick: ctx.Quick, Workers: ctx.Workers}
+		sub.printf("== %s: %s ==\n", all[i].ID, all[i].Title)
+		errs[i] = all[i].Run(sub)
+		sub.printf("\n")
+	})
+	for i, e := range all {
+		if errs[i] != nil {
+			return fmt.Errorf("experiments: %s: %w", e.ID, errs[i])
 		}
-		ctx.printf("\n")
+		if _, err := ctx.Out.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -34,7 +34,7 @@ func TestRegistryComplete(t *testing.T) {
 // coherent case, 0xF0F0 and 0xAAAA roughly double, 0xFF0F lands between;
 // under SCC, 0xF0F0 and 0xAAAA drop back toward the coherent time.
 func TestFig8Shape(t *testing.T) {
-	res, err := Fig8(true)
+	res, err := Fig8(true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestFig8Shape(t *testing.T) {
 // Table 2 shape: the benefit attribution moves from SCC-only (L1, L2)
 // toward BCC and IVB at deeper nesting (L3, L4).
 func TestTable2Shape(t *testing.T) {
-	rows, err := Table2(true)
+	rows, err := Table2(true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestAblationDtypeShape(t *testing.T) {
-	rows, err := AblationDtype(true)
+	rows, err := AblationDtype(true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestRFAreaShape(t *testing.T) {
 // Fig. 10 shape: divergent workloads average around the paper's ~20%,
 // with a maximum in the 30–45%+ range, and SCC ≥ BCC everywhere.
 func TestFig10Shape(t *testing.T) {
-	rows, err := Fig10(true)
+	rows, err := Fig10(true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

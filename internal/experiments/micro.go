@@ -7,6 +7,7 @@ import (
 	"intrawarp/internal/gpu"
 	"intrawarp/internal/isa"
 	"intrawarp/internal/kbuild"
+	"intrawarp/internal/par"
 	"intrawarp/internal/workloads"
 )
 
@@ -80,25 +81,39 @@ type Fig8Result struct {
 	Relative [compaction.NumPolicies]float64 // vs the 0xFFFF case under the same policy
 }
 
-// Fig8 computes the micro-benchmark results.
-func Fig8(quick bool) ([]Fig8Result, error) {
+// Fig8 computes the micro-benchmark results. The pattern × policy cells
+// execute on a worker pool of the given size (below 1 selects GOMAXPROCS);
+// normalization against the 0xFFFF reference happens after all cells land,
+// so results are identical at any worker count.
+func Fig8(quick bool, workers int) ([]Fig8Result, error) {
 	n, depth := 4096, 24
 	if quick {
 		n, depth = 1024, 16
 	}
+	npol := len(compaction.Policies)
+	totals := make([]int64, len(Fig8Patterns)*npol)
+	err := par.ForErr(workers, len(totals), func(i int) error {
+		pat, p := Fig8Patterns[i/npol], compaction.Policies[i%npol]
+		total, _, err := runPattern(pat, p, n, depth)
+		totals[i] = total
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	var refs [compaction.NumPolicies]int64
+	for pi, pat := range Fig8Patterns {
+		if pat == 0xFFFF {
+			for j, p := range compaction.Policies {
+				refs[p] = totals[pi*npol+j]
+			}
+		}
+	}
 	out := make([]Fig8Result, 0, len(Fig8Patterns))
-	for _, pat := range Fig8Patterns {
+	for pi, pat := range Fig8Patterns {
 		res := Fig8Result{Pattern: pat}
-		for _, p := range compaction.Policies {
-			total, _, err := runPattern(pat, p, n, depth)
-			if err != nil {
-				return nil, err
-			}
-			if pat == 0xFFFF {
-				refs[p] = total
-			}
-			res.Relative[p] = float64(total) / float64(refs[p])
+		for j, p := range compaction.Policies {
+			res.Relative[p] = float64(totals[pi*npol+j]) / float64(refs[p])
 		}
 		out = append(out, res)
 	}
@@ -106,7 +121,7 @@ func Fig8(quick bool) ([]Fig8Result, error) {
 }
 
 func runFig8(ctx *Context) error {
-	results, err := Fig8(ctx.Quick)
+	results, err := Fig8(ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}
@@ -167,41 +182,59 @@ type Table2Row struct {
 }
 
 // Table2 measures EU busy cycles of the nested micro-benchmark under all
-// policies.
-func Table2(quick bool) ([]Table2Row, error) {
+// policies. The level × policy cells fan out over a worker pool.
+func Table2(quick bool, workers int) ([]Table2Row, error) {
 	n, depth := 2048, 24
 	if quick {
 		n, depth = 512, 16
 	}
-	var rows []Table2Row
-	for levels := 1; levels <= 4; levels++ {
+	const maxLevels = 4
+	kernels := make([]*isa.Kernel, maxLevels)
+	for levels := 1; levels <= maxLevels; levels++ {
 		k, err := nestedKernel(levels, depth)
 		if err != nil {
 			return nil, err
 		}
-		var busy [compaction.NumPolicies]int64
-		for _, p := range compaction.Policies {
-			g := gpu.New(gpu.DefaultConfig().WithPolicy(p))
-			out := g.AllocU32(n, make([]uint32, n))
-			run, err := g.Run(gpu.LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 96, Args: []uint32{out}})
-			if err != nil {
-				return nil, err
-			}
-			busy[p] = run.EUBusy
+		kernels[levels-1] = k
+	}
+	npol := len(compaction.Policies)
+	busy := make([]int64, maxLevels*npol)
+	if err := par.ForErr(workers, len(busy), func(i int) error {
+		k, p := kernels[i/npol], compaction.Policies[i%npol]
+		g := gpu.New(gpu.DefaultConfig().WithPolicy(p))
+		out := g.AllocU32(n, make([]uint32, n))
+		run, err := g.Run(gpu.LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 96, Args: []uint32{out}})
+		if err != nil {
+			return err
 		}
-		base := float64(busy[compaction.Baseline])
+		busy[i] = run.EUBusy
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for levels := 1; levels <= maxLevels; levels++ {
+		at := func(p compaction.Policy) float64 {
+			for j, q := range compaction.Policies {
+				if q == p {
+					return float64(busy[(levels-1)*npol+j])
+				}
+			}
+			return 0
+		}
+		base := at(compaction.Baseline)
 		rows = append(rows, Table2Row{
 			Level:         levels,
-			IVBBenefit:    (base - float64(busy[compaction.IvyBridge])) / base,
-			BCCAdditional: (float64(busy[compaction.IvyBridge]) - float64(busy[compaction.BCC])) / base,
-			SCCAdditional: (float64(busy[compaction.BCC]) - float64(busy[compaction.SCC])) / base,
+			IVBBenefit:    (base - at(compaction.IvyBridge)) / base,
+			BCCAdditional: (at(compaction.IvyBridge) - at(compaction.BCC)) / base,
+			SCCAdditional: (at(compaction.BCC) - at(compaction.SCC)) / base,
 		})
 	}
 	return rows, nil
 }
 
 func runTable2(ctx *Context) error {
-	rows, err := Table2(ctx.Quick)
+	rows, err := Table2(ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}
@@ -223,15 +256,18 @@ type DtypeRow struct {
 
 // AblationDtype measures how the BCC benefit scales with operand width on
 // a one-quad-active pattern: f64 executes more group cycles per
-// instruction, so compaction has more to harvest per §4.1.
-func AblationDtype(quick bool) ([]DtypeRow, error) {
+// instruction, so compaction has more to harvest per §4.1. The per-dtype
+// measurements fan out over a worker pool.
+func AblationDtype(quick bool, workers int) ([]DtypeRow, error) {
 	n := 2048
 	depth := 24
 	if quick {
 		n, depth = 512, 16
 	}
-	var rows []DtypeRow
-	for _, dt := range []isa.DataType{isa.F16, isa.F32, isa.F64} {
+	dtypes := []isa.DataType{isa.F16, isa.F32, isa.F64}
+	rows := make([]DtypeRow, len(dtypes))
+	err := par.ForErr(workers, len(dtypes), func(di int) error {
+		dt := dtypes[di]
 		b := kbuild.New("dtype-"+dt.String(), isa.SIMD16)
 		lane := b.Vec()
 		b.And(lane, b.GlobalID(), b.U(15))
@@ -251,7 +287,7 @@ func AblationDtype(quick bool) ([]DtypeRow, error) {
 		b.StoreScatter(oAddr, zero)
 		k, err := b.Build()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var busy [2]int64
 		for i, p := range []compaction.Policy{compaction.Baseline, compaction.BCC} {
@@ -259,18 +295,22 @@ func AblationDtype(quick bool) ([]DtypeRow, error) {
 			out := g.AllocU32(n, make([]uint32, n))
 			run, err := g.Run(gpu.LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 96, Args: []uint32{out}})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			busy[i] = run.EUBusy
 		}
-		rows = append(rows, DtypeRow{DType: dt,
-			BCCReduction: float64(busy[0]-busy[1]) / float64(busy[0])})
+		rows[di] = DtypeRow{DType: dt,
+			BCCReduction: float64(busy[0]-busy[1]) / float64(busy[0])}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
 
 func runAblationDtype(ctx *Context) error {
-	rows, err := AblationDtype(ctx.Quick)
+	rows, err := AblationDtype(ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}
@@ -285,8 +325,9 @@ func runAblationDtype(ctx *Context) error {
 
 // AblationIssue compares kernel time at issue widths 1 and 2: cycle
 // compression raises the demanded issue rate, so a narrower front end
-// forfeits part of the benefit (§4.3's balance argument).
-func AblationIssue(quick bool) (map[string]int64, error) {
+// forfeits part of the benefit (§4.3's balance argument). The four
+// (issue width, policy) cells fan out over a worker pool.
+func AblationIssue(quick bool, workers int) (map[string]int64, error) {
 	n, depth := 2048, 4
 	if quick {
 		n, depth = 512, 4
@@ -295,19 +336,34 @@ func AblationIssue(quick bool) (map[string]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := map[string]int64{}
+	type cell struct {
+		iw int
+		p  compaction.Policy
+	}
+	var cells []cell
 	for _, iw := range []int{1, 2} {
 		for _, p := range []compaction.Policy{compaction.Baseline, compaction.SCC} {
-			cfg := gpu.DefaultConfig().WithPolicy(p)
-			cfg.EU.IssueWidth = iw
-			g := gpu.New(cfg)
-			buf := g.AllocU32(n, make([]uint32, n))
-			run, err := g.Run(gpu.LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 96, Args: []uint32{buf}})
-			if err != nil {
-				return nil, err
-			}
-			out[fmt.Sprintf("iw%d-%s", iw, p)] = run.TotalCycles
+			cells = append(cells, cell{iw, p})
 		}
+	}
+	totals := make([]int64, len(cells))
+	if err := par.ForErr(workers, len(cells), func(i int) error {
+		cfg := gpu.DefaultConfig().WithPolicy(cells[i].p)
+		cfg.EU.IssueWidth = cells[i].iw
+		g := gpu.New(cfg)
+		buf := g.AllocU32(n, make([]uint32, n))
+		run, err := g.Run(gpu.LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 96, Args: []uint32{buf}})
+		if err != nil {
+			return err
+		}
+		totals[i] = run.TotalCycles
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := map[string]int64{}
+	for i, c := range cells {
+		out[fmt.Sprintf("iw%d-%s", c.iw, c.p)] = totals[i]
 	}
 	return out, nil
 }
@@ -323,8 +379,10 @@ type FrontendRow struct {
 // AblationFrontend measures how a non-zero instruction-refetch penalty
 // (paper §2.2 pipeline stage 1) erodes the total-time benefit of SCC on a
 // branchy divergent workload: every loop back-edge and divergence jump
-// stalls the thread's front end, and those stalls do not compress.
-func AblationFrontend(quick bool) ([]FrontendRow, error) {
+// stalls the thread's front end, and those stalls do not compress. The
+// penalty × policy cells fan out over a worker pool; only the first cell
+// verifies the device result (the rest are re-runs of the same compute).
+func AblationFrontend(quick bool, workers int) ([]FrontendRow, error) {
 	w, err := workloads.ByName("bsearch")
 	if err != nil {
 		return nil, err
@@ -333,27 +391,34 @@ func AblationFrontend(quick bool) ([]FrontendRow, error) {
 	if quick {
 		n = 256
 	}
-	var rows []FrontendRow
-	for _, pen := range []int{0, 2, 4, 8} {
-		var tot [2]int64
-		for i, p := range []compaction.Policy{compaction.IvyBridge, compaction.SCC} {
-			cfg := gpu.DefaultConfig().WithPolicy(p)
-			cfg.EU.JumpPenalty = pen
-			g := gpu.New(cfg)
-			run, err := workloads.Execute(g, w, n, true)
-			if err != nil {
-				return nil, err
-			}
-			tot[i] = run.TotalCycles
+	pens := []int{0, 2, 4, 8}
+	pols := []compaction.Policy{compaction.IvyBridge, compaction.SCC}
+	totals := make([]int64, len(pens)*len(pols))
+	if err := par.ForErr(workers, len(totals), func(i int) error {
+		pen, p := pens[i/len(pols)], pols[i%len(pols)]
+		cfg := gpu.DefaultConfig().WithPolicy(p)
+		cfg.EU.JumpPenalty = pen
+		g := gpu.New(cfg)
+		run, err := workloads.ExecuteOpts(g, w, workloads.ExecOptions{Size: n, Timed: true, SkipVerify: i != 0})
+		if err != nil {
+			return err
 		}
-		rows = append(rows, FrontendRow{Penalty: pen, BaseCycles: tot[0], SCCCycles: tot[1],
-			SCCReduction: compaction.Reduction(tot[0], tot[1])})
+		totals[i] = run.TotalCycles
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var rows []FrontendRow
+	for pi, pen := range pens {
+		base, scc := totals[pi*len(pols)], totals[pi*len(pols)+1]
+		rows = append(rows, FrontendRow{Penalty: pen, BaseCycles: base, SCCCycles: scc,
+			SCCReduction: compaction.Reduction(base, scc)})
 	}
 	return rows, nil
 }
 
 func runAblationFrontend(ctx *Context) error {
-	rows, err := AblationFrontend(ctx.Quick)
+	rows, err := AblationFrontend(ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}
@@ -368,7 +433,7 @@ func runAblationFrontend(ctx *Context) error {
 }
 
 func runAblationIssue(ctx *Context) error {
-	res, err := AblationIssue(ctx.Quick)
+	res, err := AblationIssue(ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestExperimentOutputDeterminism renders a mix of cell-parallelized
+// experiments serially and on a wide worker pool and requires
+// byte-identical reports: cells land in indexed slices, so worker count
+// must never leak into the output.
+func TestExperimentOutputDeterminism(t *testing.T) {
+	for _, id := range []string{"fig8", "fig10", "table2", "ablation-frontend"} {
+		render := func(workers int) string {
+			var buf bytes.Buffer
+			ctx := &Context{Out: &buf, Quick: true, Workers: workers}
+			if err := Run(id, ctx); err != nil {
+				t.Fatalf("%s workers=%d: %v", id, workers, err)
+			}
+			return buf.String()
+		}
+		serial := render(1)
+		parallel := render(8)
+		if serial != parallel {
+			t.Fatalf("%s: parallel output differs from serial\nserial:\n%s\nparallel:\n%s",
+				id, serial, parallel)
+		}
+	}
+}
+
+// TestRunAllOrdered checks that concurrent experiment execution still
+// renders the combined report in ID order, matching a serial run.
+func TestRunAllOrdered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	render := func(workers int) string {
+		var buf bytes.Buffer
+		if err := RunAll(&Context{Out: &buf, Quick: true, Workers: workers}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(0)
+	if serial != parallel {
+		t.Fatal("RunAll output depends on worker count")
+	}
+}

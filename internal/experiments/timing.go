@@ -6,6 +6,7 @@ import (
 
 	"intrawarp/internal/compaction"
 	"intrawarp/internal/gpu"
+	"intrawarp/internal/par"
 	"intrawarp/internal/stats"
 	"intrawarp/internal/trace"
 	"intrawarp/internal/workloads"
@@ -18,12 +19,15 @@ func init() {
 }
 
 // timedRun executes one workload under one policy/memory configuration.
-func timedRun(s *workloads.Spec, p compaction.Policy, dcBW int, perfectL3 bool, n int) (*stats.Run, error) {
+// verify gates the host-side result check: sweeps verify one cell per
+// workload and skip the rest (all cells compute identical architectural
+// results, a tested invariant).
+func timedRun(s *workloads.Spec, p compaction.Policy, dcBW int, perfectL3 bool, n int, verify bool) (*stats.Run, error) {
 	cfg := gpu.DefaultConfig().WithPolicy(p)
 	cfg.Mem.DCLinesPerCycle = dcBW
 	cfg.Mem.PerfectL3 = perfectL3
 	g := gpu.New(cfg)
-	return workloads.Execute(g, s, n, true)
+	return workloads.ExecuteOpts(g, s, workloads.ExecOptions{Size: n, Timed: true, SkipVerify: !verify})
 }
 
 // TimingRow captures one workload's timed comparison against the IVB
@@ -44,44 +48,80 @@ type TimingRow struct {
 	TotalPL3 [2]float64
 }
 
+// timingCell identifies one (workload, policy, machine-config) point of
+// the sweep.
+type timingCell struct {
+	wl     int // index into the workload set
+	p      compaction.Policy
+	dc     int
+	pl3    bool
+	verify bool // host-side result check; one cell per workload
+}
+
 // timingStudy runs the full policy × bandwidth sweep over a workload set.
-func timingStudy(set []*workloads.Spec, quick, withPL3 bool) ([]TimingRow, error) {
-	var rows []TimingRow
-	for _, s := range set {
+// Every cell constructs its own GPU, so all cells are independent; they
+// execute on a worker pool of the given size (below 1 selects GOMAXPROCS)
+// and land in an indexed slice, keeping the assembled rows — and thus the
+// rendered output — identical at any worker count. Only each workload's
+// first cell verifies device results against the host reference; the
+// remaining cells are policy/bandwidth re-runs of the same computation.
+func timingStudy(set []*workloads.Spec, quick, withPL3 bool, workers int) ([]TimingRow, error) {
+	pols := []compaction.Policy{compaction.IvyBridge, compaction.BCC, compaction.SCC}
+	var cells []timingCell
+	for wl := range set {
+		first := true
+		for _, p := range pols {
+			for _, dc := range []int{1, 2} {
+				cells = append(cells, timingCell{wl: wl, p: p, dc: dc, verify: first})
+				first = false
+			}
+			if withPL3 {
+				cells = append(cells, timingCell{wl: wl, p: p, dc: 1, pl3: true})
+			}
+		}
+	}
+
+	results := make([]*stats.Run, len(cells))
+	err := par.ForErr(workers, len(cells), func(i int) error {
+		c := cells[i]
+		s := set[c.wl]
 		n := 0
 		if quick {
 			n = quickScale(s)
 		}
+		r, err := timedRun(s, c.p, c.dc, c.pl3, n, c.verify)
+		if err != nil {
+			return fmt.Errorf("%s/%s/dc%d/pl3=%v: %w", s.Name, c.p, c.dc, c.pl3, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type key struct {
+		p   compaction.Policy
+		dc  int
+		pl3 bool
+	}
+	rows := make([]TimingRow, len(set))
+	perWL := make([]map[key]*stats.Run, len(set))
+	for i := range perWL {
+		perWL[i] = map[key]*stats.Run{}
+	}
+	for i, c := range cells {
+		perWL[c.wl][key{c.p, c.dc, c.pl3}] = results[i]
+	}
+	red := func(ref, with *stats.Run, eu bool) float64 {
+		if eu {
+			return compaction.Reduction(ref.EUBusy, with.EUBusy)
+		}
+		return compaction.Reduction(ref.TotalCycles, with.TotalCycles)
+	}
+	for wl, s := range set {
+		runs := perWL[wl]
 		row := TimingRow{Name: s.Name}
-		type key struct {
-			p   compaction.Policy
-			dc  int
-			pl3 bool
-		}
-		runs := map[key]*stats.Run{}
-		pols := []compaction.Policy{compaction.IvyBridge, compaction.BCC, compaction.SCC}
-		for _, p := range pols {
-			for _, dc := range []int{1, 2} {
-				r, err := timedRun(s, p, dc, false, n)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s/dc%d: %w", s.Name, p, dc, err)
-				}
-				runs[key{p, dc, false}] = r
-			}
-			if withPL3 {
-				r, err := timedRun(s, p, 1, true, n)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s/pl3: %w", s.Name, p, err)
-				}
-				runs[key{p, 1, true}] = r
-			}
-		}
-		red := func(ref, with *stats.Run, eu bool) float64 {
-			if eu {
-				return compaction.Reduction(ref.EUBusy, with.EUBusy)
-			}
-			return compaction.Reduction(ref.TotalCycles, with.TotalCycles)
-		}
 		for i, p := range []compaction.Policy{compaction.BCC, compaction.SCC} {
 			row.TotalDC1[i] = red(runs[key{compaction.IvyBridge, 1, false}], runs[key{p, 1, false}], false)
 			row.TotalDC2[i] = red(runs[key{compaction.IvyBridge, 2, false}], runs[key{p, 2, false}], false)
@@ -93,18 +133,19 @@ func timingStudy(set []*workloads.Spec, quick, withPL3 bool) ([]TimingRow, error
 		for i, p := range pols {
 			row.DCDemand[i] = runs[key{p, 2, false}].DCDemand()
 		}
-		rows = append(rows, row)
+		rows[wl] = row
 	}
 	return rows, nil
 }
 
-// Fig11 runs the ray-tracing timing study.
-func Fig11(quick bool) ([]TimingRow, error) {
-	return timingStudy(workloads.ByClass("raytrace"), quick, false)
+// Fig11 runs the ray-tracing timing study on a worker pool of the given
+// size (below 1 selects GOMAXPROCS).
+func Fig11(quick bool, workers int) ([]TimingRow, error) {
+	return timingStudy(workloads.ByClass("raytrace"), quick, false, workers)
 }
 
 func runFig11(ctx *Context) error {
-	rows, err := Fig11(ctx.Quick)
+	rows, err := Fig11(ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}
@@ -121,12 +162,12 @@ func runFig11(ctx *Context) error {
 }
 
 // Fig12 runs the Rodinia timing study including the perfect-L3 model.
-func Fig12(quick bool) ([]TimingRow, error) {
-	return timingStudy(workloads.ByClass("rodinia"), quick, true)
+func Fig12(quick bool, workers int) ([]TimingRow, error) {
+	return timingStudy(workloads.ByClass("rodinia"), quick, true, workers)
 }
 
 func runFig12(ctx *Context) error {
-	rows, err := Fig12(ctx.Quick)
+	rows, err := Fig12(ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}
@@ -148,11 +189,11 @@ type Table4Summary struct {
 }
 
 // Table4 aggregates the summary statistics over the divergent sets.
-func Table4(quick bool) (*Table4Summary, error) {
+func Table4(quick bool, workers int) (*Table4Summary, error) {
 	out := &Table4Summary{}
 
 	// EU-cycle rows: execution-driven divergent set.
-	sim, traces, err := workloadRuns(quick)
+	sim, traces, err := workloadRuns(quick, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +235,7 @@ func Table4(quick bool) (*Table4Summary, error) {
 			set = append(set, s)
 		}
 	}
-	rows, err := timingStudy(set, quick, false)
+	rows, err := timingStudy(set, quick, false, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -209,7 +250,7 @@ func Table4(quick bool) (*Table4Summary, error) {
 }
 
 func runTable4(ctx *Context) error {
-	s, err := Table4(ctx.Quick)
+	s, err := Table4(ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 	"intrawarp/internal/eu"
 	"intrawarp/internal/isa"
 	"intrawarp/internal/memory"
+	"intrawarp/internal/par"
 	"intrawarp/internal/stats"
 )
 
@@ -15,12 +16,73 @@ import (
 // EU-thread within it.
 type InstrVisitor func(wg, thread int, res eu.ExecResult)
 
+// runWorkgroup functionally executes one workgroup to completion on a
+// detached pool of thread contexts, accumulating into run. Threads are
+// interleaved one instruction at a time, which resolves barriers and
+// keeps intra-workgroup atomics deterministic.
+func (g *GPU) runWorkgroup(pool []*eu.Thread, spec *LaunchSpec, wg int, run *stats.Run, visit InstrVisitor) error {
+	const maxSteps = 1 << 32
+	slm := memory.NewSLM(g.Cfg.Mem.SLMBytes, g.Cfg.Mem.SLMBanks)
+	for t := range pool {
+		initThread(pool[t], spec, wg, t, slm, run)
+	}
+	var steps int64
+	for {
+		progressed := false
+		for ti, th := range pool {
+			if th.State != eu.ThreadReady {
+				continue
+			}
+			res := th.Step(g.Mem.Mem)
+			if visit != nil {
+				visit(wg, ti, res)
+			}
+			steps++
+			progressed = true
+		}
+		// Barrier release: every live thread parked.
+		atBar, done := 0, 0
+		for _, th := range pool {
+			switch th.State {
+			case eu.ThreadBarrier:
+				atBar++
+			case eu.ThreadDone:
+				done++
+			}
+		}
+		if atBar > 0 && atBar+done == len(pool) {
+			for _, th := range pool {
+				if th.State == eu.ThreadBarrier {
+					th.State = eu.ThreadReady
+				}
+			}
+			progressed = true
+		}
+		if done == len(pool) {
+			return nil
+		}
+		if !progressed {
+			return fmt.Errorf("gpu: kernel %s: functional deadlock in workgroup %d", spec.Kernel.Name, wg)
+		}
+		if steps > maxSteps {
+			return fmt.Errorf("gpu: kernel %s: functional run exceeded %d steps", spec.Kernel.Name, int64(maxSteps))
+		}
+	}
+}
+
 // RunFunctional executes the launch on the functional model only: no
 // pipeline or memory timing, just architectural execution with statistics
-// and what-if compaction accounting. Workgroups run one at a time; their
-// threads are interleaved one instruction at a time, which resolves
-// barriers and keeps atomics deterministic. This is the fast path used
-// for trace collection and EU-cycle-only experiments (Figs. 3, 9, 10).
+// and what-if compaction accounting. This is the fast path used for trace
+// collection and EU-cycle-only experiments (Figs. 3, 9, 10).
+//
+// Workgroups are independent (the NDRange model forbids cross-workgroup
+// synchronization within a launch), so they are sharded across a worker
+// pool of Config.Workers goroutines (default runtime.GOMAXPROCS). Each
+// workgroup accumulates into a private stats.Run shard; shards are merged
+// in ascending workgroup order, so a parallel run produces statistics
+// bit-identical to a serial one (see DESIGN.md §7). A non-nil visit
+// forces serial execution: trace capture needs the exact serial
+// interleaving of the record stream.
 func (g *GPU) RunFunctional(spec LaunchSpec, visit InstrVisitor) (*stats.Run, error) {
 	threadsPerWG, numWGs, err := spec.validate(g.Cfg)
 	if err != nil {
@@ -28,61 +90,52 @@ func (g *GPU) RunFunctional(spec LaunchSpec, visit InstrVisitor) (*stats.Run, er
 	}
 	run := stats.NewRun(spec.Kernel.Name, spec.Kernel.Width.Lanes())
 
-	// A detached pool of thread contexts: the functional model does not
-	// occupy EU slots.
-	pool := make([]*eu.Thread, threadsPerWG)
-	for i := range pool {
-		pool[i] = &eu.Thread{}
+	workers := par.Workers(g.Cfg.Workers)
+	if workers > numWGs {
+		workers = numWGs
+	}
+	if visit != nil || workers <= 1 {
+		// Serial path: one thread-context pool, reused across workgroups,
+		// all accumulating directly into run.
+		pool := make([]*eu.Thread, threadsPerWG)
+		for i := range pool {
+			pool[i] = &eu.Thread{}
+		}
+		for wg := 0; wg < numWGs; wg++ {
+			if err := g.runWorkgroup(pool, &spec, wg, run, visit); err != nil {
+				return nil, err
+			}
+		}
+		return run, nil
 	}
 
-	const maxSteps = 1 << 32
+	// Parallel path: workgroups are claimed dynamically by the pool, each
+	// writing into its own shard; the backing store runs in shared mode
+	// for the duration (striped line locks make idempotent overlapping
+	// writes and cross-workgroup atomics well-defined).
+	shards := make([]*stats.Run, numWGs)
+	errs := make([]error, numWGs)
+	pools := make([][]*eu.Thread, workers)
+	for w := range pools {
+		pools[w] = make([]*eu.Thread, threadsPerWG)
+		for i := range pools[w] {
+			pools[w][i] = &eu.Thread{}
+		}
+	}
+	g.Mem.Mem.SetShared(true)
+	par.ForWorker(workers, numWGs, func(worker, wg int) {
+		shard := stats.NewRun(spec.Kernel.Name, spec.Kernel.Width.Lanes())
+		errs[wg] = g.runWorkgroup(pools[worker], &spec, wg, shard, nil)
+		shard.Release()
+		shards[wg] = shard
+	})
+	g.Mem.Mem.SetShared(false)
+
 	for wg := 0; wg < numWGs; wg++ {
-		slm := memory.NewSLM(g.Cfg.Mem.SLMBytes, g.Cfg.Mem.SLMBanks)
-		for t := 0; t < threadsPerWG; t++ {
-			initThread(pool[t], &spec, wg, t, slm, run)
+		if errs[wg] != nil {
+			return nil, errs[wg]
 		}
-		var steps int64
-		for {
-			progressed := false
-			for ti, th := range pool {
-				if th.State != eu.ThreadReady {
-					continue
-				}
-				res := th.Step(g.Mem.Mem)
-				if visit != nil {
-					visit(wg, ti, res)
-				}
-				steps++
-				progressed = true
-			}
-			// Barrier release: every live thread parked.
-			atBar, done := 0, 0
-			for _, th := range pool {
-				switch th.State {
-				case eu.ThreadBarrier:
-					atBar++
-				case eu.ThreadDone:
-					done++
-				}
-			}
-			if atBar > 0 && atBar+done == len(pool) {
-				for _, th := range pool {
-					if th.State == eu.ThreadBarrier {
-						th.State = eu.ThreadReady
-					}
-				}
-				progressed = true
-			}
-			if done == len(pool) {
-				break
-			}
-			if !progressed {
-				return nil, fmt.Errorf("gpu: kernel %s: functional deadlock in workgroup %d", spec.Kernel.Name, wg)
-			}
-			if steps > maxSteps {
-				return nil, fmt.Errorf("gpu: kernel %s: functional run exceeded %d steps", spec.Kernel.Name, int64(maxSteps))
-			}
-		}
+		run.Merge(shards[wg])
 	}
 	return run, nil
 }

@@ -27,6 +27,16 @@ type Config struct {
 	// MaxCycles aborts a timed run that exceeds this budget (simulator
 	// hang guard). Zero means the default of 1e9.
 	MaxCycles int64
+
+	// Workers bounds the host worker pool of the functional engine:
+	// RunFunctional shards a launch's workgroups across this many
+	// goroutines. Values below 1 select runtime.GOMAXPROCS(0); 1 forces
+	// serial execution. Parallel runs produce statistics bit-identical to
+	// serial ones (shards merge in fixed workgroup order). The timed
+	// cycle-level Run is inherently serial — workgroups contend for EUs
+	// and memory cycle by cycle — and ignores this knob; sweeps
+	// parallelize across whole timed runs instead (internal/experiments).
+	Workers int
 }
 
 // DefaultConfig returns the paper's Table 3 machine: 6 EUs × 6 threads,
@@ -39,6 +49,13 @@ func DefaultConfig() Config {
 // policy.
 func (c Config) WithPolicy(p compaction.Policy) Config {
 	c.EU.Policy = p
+	return c
+}
+
+// WithWorkers returns a copy of the config with the functional engine's
+// worker-pool bound set (see the Workers field).
+func (c Config) WithWorkers(k int) Config {
+	c.Workers = k
 	return c
 }
 

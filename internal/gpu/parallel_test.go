@@ -1,0 +1,138 @@
+package gpu
+
+import (
+	"reflect"
+	"testing"
+
+	"intrawarp/internal/compaction"
+	"intrawarp/internal/isa"
+	"intrawarp/internal/kbuild"
+)
+
+// atomicDivergentKernel builds a kernel exercising everything the
+// parallel engine must keep deterministic: data-dependent divergence, a
+// workgroup barrier over SLM, a cross-workgroup atomic accumulator, and
+// scattered stores. out[i] = in[i]*2 or *3 by parity; sum += in[i].
+func atomicDivergentKernel(t *testing.T) *isa.Kernel {
+	t.Helper()
+	b := kbuild.New("pardet", isa.SIMD16)
+	addrIn := b.Addr(b.Arg(0), b.GlobalID(), 4)
+	addrOut := b.Addr(b.Arg(1), b.GlobalID(), 4)
+	x := b.Vec()
+	b.LoadGather(x, addrIn)
+
+	// Stage through SLM with a barrier so workgroup coordination is
+	// exercised too. Local id = global id mod the 32-item group size.
+	slmOff := b.Vec()
+	b.And(slmOff, b.GlobalID(), b.U(31))
+	b.MulU(slmOff, slmOff, b.U(4))
+	b.StoreSLM(slmOff, x)
+	b.Barrier()
+	b.LoadSLM(x, slmOff)
+
+	odd := b.Vec()
+	b.And(odd, b.GlobalID(), b.U(1))
+	b.CmpU(isa.F0, isa.CmpEQ, odd, b.U(1))
+	b.If(isa.F0)
+	b.MulU(x, x, b.U(3))
+	b.Else()
+	b.MulU(x, x, b.U(2))
+	b.EndIf()
+
+	// Cross-workgroup atomic: every lane adds its value to one counter.
+	accAddr := b.Vec()
+	b.MovU(accAddr, b.Arg(2))
+	old := b.Vec()
+	b.AtomicAdd(old, accAddr, x)
+	b.StoreScatter(addrOut, x)
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("building pardet kernel: %v", err)
+	}
+	return k
+}
+
+// runDeterminism executes the kernel functionally with the given worker
+// count and returns the run plus the architectural results.
+func runDeterminism(t *testing.T, p compaction.Policy, workers int, k *isa.Kernel, n int) (run interface{}, out []uint32, sum uint32) {
+	t.Helper()
+	g := New(DefaultConfig().WithPolicy(p).WithWorkers(workers))
+	data := make([]uint32, n)
+	for i := range data {
+		data[i] = uint32(i%97 + 1)
+	}
+	in := g.AllocU32(n, data)
+	outBuf := g.AllocU32(n, make([]uint32, n))
+	acc := g.AllocU32(1, []uint32{0})
+	r, err := g.RunFunctional(LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 32,
+		Args: []uint32{in, outBuf, acc}}, nil)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return r, g.ReadBufferU32(outBuf, n), g.ReadBufferU32(acc, 1)[0]
+}
+
+// TestParallelFunctionalDeterminism is the engine's core guarantee: a
+// parallel functional run produces statistics and architectural results
+// bit-identical to a serial run, for every compaction policy.
+func TestParallelFunctionalDeterminism(t *testing.T) {
+	k := atomicDivergentKernel(t)
+	const n = 1024
+	for _, p := range compaction.Policies {
+		serialRun, serialOut, serialSum := runDeterminism(t, p, 1, k, n)
+		for _, workers := range []int{2, 4, 8} {
+			parRun, parOut, parSum := runDeterminism(t, p, workers, k, n)
+			if !reflect.DeepEqual(serialRun, parRun) {
+				t.Fatalf("policy %s workers=%d: stats differ from serial\nserial: %+v\nparallel: %+v",
+					p, workers, serialRun, parRun)
+			}
+			if !reflect.DeepEqual(serialOut, parOut) {
+				t.Fatalf("policy %s workers=%d: architectural results differ", p, workers)
+			}
+			if parSum != serialSum {
+				t.Fatalf("policy %s workers=%d: atomic sum %d != serial %d", p, workers, parSum, serialSum)
+			}
+		}
+	}
+}
+
+// TestParallelMatchesDefaultWorkers checks the default worker count
+// (GOMAXPROCS via Workers=0) also reproduces serial statistics.
+func TestParallelMatchesDefaultWorkers(t *testing.T) {
+	k := atomicDivergentKernel(t)
+	const n = 512
+	serialRun, _, _ := runDeterminism(t, compaction.SCC, 1, k, n)
+	defRun, _, _ := runDeterminism(t, compaction.SCC, 0, k, n)
+	if !reflect.DeepEqual(serialRun, defRun) {
+		t.Fatal("default worker count produced different statistics than serial")
+	}
+}
+
+// TestTimedRunIgnoresWorkers documents that the cycle-level simulator is
+// unaffected by the Workers knob: timing interleaves workgroups over
+// shared EUs cycle by cycle and cannot shard.
+func TestTimedRunIgnoresWorkers(t *testing.T) {
+	k := atomicDivergentKernel(t)
+	const n = 256
+	var ref int64
+	for i, workers := range []int{1, 8} {
+		g := New(DefaultConfig().WithPolicy(compaction.BCC).WithWorkers(workers))
+		data := make([]uint32, n)
+		for j := range data {
+			data[j] = uint32(j + 1)
+		}
+		in := g.AllocU32(n, data)
+		out := g.AllocU32(n, make([]uint32, n))
+		acc := g.AllocU32(1, []uint32{0})
+		r, err := g.Run(LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 32,
+			Args: []uint32{in, out, acc}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = r.TotalCycles
+		} else if r.TotalCycles != ref {
+			t.Fatalf("timed run changed with Workers: %d vs %d cycles", r.TotalCycles, ref)
+		}
+	}
+}

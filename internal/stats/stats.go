@@ -85,6 +85,12 @@ type Run struct {
 	// timed run, why nothing issued (or that something did). Indexed by
 	// StallKind.
 	Windows [NumStallKinds]int64
+
+	// guard asserts single-writer ownership of the accumulator when the
+	// `statsguard` build tag is set; it compiles to nothing otherwise.
+	// Shards of a parallel run are each owned by exactly one goroutine
+	// until merged.
+	guard writerGuard
 }
 
 // StallKind classifies an EU arbitration window of a timed run.
@@ -158,6 +164,7 @@ func NewRun(name string, width int) *Run {
 // element group size, and final execution mask. It updates efficiency
 // counters, the utilization histogram, and the per-policy cycle totals.
 func (r *Run) RecordInstr(width, group int, m mask.Mask) {
+	r.guard.assertOwner()
 	m = m.Trunc(width)
 	r.Instructions++
 	pop := m.PopCount()
@@ -187,6 +194,7 @@ func (r *Run) RecordInstr(width, group int, m mask.Mask) {
 
 // RecordSend accounts one global-memory SEND with its coalesced line count.
 func (r *Run) RecordSend(lines int) {
+	r.guard.assertOwner()
 	r.Sends++
 	r.SendLines += int64(lines)
 }
@@ -233,9 +241,16 @@ func (r *Run) DCDemand() float64 {
 	return float64(r.Mem.LinesRequested) / float64(r.TotalCycles)
 }
 
-// Merge adds other's instruction-level counters into r (used to aggregate
-// per-thread accumulators; timed-run fields are not merged).
+// Merge adds every additive counter of other into r — instruction-level
+// counters, energy proxies, stall windows, and the timed-run totals
+// (TotalCycles, EUBusy). It is the reduction step of the parallel engine:
+// per-workgroup shards are merged in ascending workgroup order, and
+// because every field is an integer sum the result is bit-identical to a
+// serial accumulation regardless of how workgroups were scheduled.
+// Non-additive fields (Name, Width, TimedPolicy, Mem, L3HitRate) are left
+// untouched; callers set them on the destination.
 func (r *Run) Merge(other *Run) {
+	r.guard.assertOwner()
 	r.Instructions += other.Instructions
 	r.ActiveLanes += other.ActiveLanes
 	r.TotalLanes += other.TotalLanes
@@ -263,7 +278,14 @@ func (r *Run) Merge(other *Run) {
 	for k := range r.Windows {
 		r.Windows[k] += other.Windows[k]
 	}
+	r.TotalCycles += other.TotalCycles
+	r.EUBusy += other.EUBusy
 }
+
+// Release ends the current goroutine's write ownership of r (statsguard
+// builds only; a no-op otherwise). The parallel engine calls it when a
+// worker hands a finished shard to the merger.
+func (r *Run) Release() { r.guard.release() }
 
 // Summary renders a human-readable report of the run.
 func (r *Run) Summary() string {

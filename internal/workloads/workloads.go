@@ -99,10 +99,27 @@ func DivergentSimSet() []*Spec {
 	return out
 }
 
-// Execute runs an instance to completion on g. When timed is true the
-// cycle-level simulator is used; otherwise the functional model. Launch
-// statistics are merged; timed quantities accumulate across launches.
-func Execute(g *gpu.GPU, spec *Spec, n int, timed bool) (*stats.Run, error) {
+// ExecOptions parameterizes one workload execution.
+type ExecOptions struct {
+	// Size is the problem scale; 0 or negative selects Spec.DefaultN.
+	Size int
+	// Timed selects the cycle-level simulator; the default is the
+	// functional model.
+	Timed bool
+	// SkipVerify drops the host-side result check. Sweeps that execute
+	// the same workload under many machine configurations (policy × DC
+	// bandwidth × L3 cells) verify one cell and skip the rest: every
+	// policy is architecturally result-identical (a tested invariant), so
+	// repeating the reference computation on every cell only slows the
+	// hot path down.
+	SkipVerify bool
+}
+
+// ExecuteOpts runs an instance to completion on g according to opts.
+// Launch statistics are merged; timed quantities accumulate across
+// launches.
+func ExecuteOpts(g *gpu.GPU, spec *Spec, opts ExecOptions) (*stats.Run, error) {
+	n := opts.Size
 	if n <= 0 {
 		n = spec.DefaultN
 	}
@@ -117,7 +134,7 @@ func Execute(g *gpu.GPU, spec *Spec, n int, timed bool) (*stats.Run, error) {
 			break
 		}
 		var r *stats.Run
-		if timed {
+		if opts.Timed {
 			r, err = g.Run(*ls)
 		} else {
 			r, err = g.RunFunctional(*ls, nil)
@@ -130,8 +147,6 @@ func Execute(g *gpu.GPU, spec *Spec, n int, timed bool) (*stats.Run, error) {
 			agg.TimedPolicy = r.TimedPolicy
 		}
 		agg.Merge(r)
-		agg.TotalCycles += r.TotalCycles
-		agg.EUBusy += r.EUBusy
 		if iter > 100000 {
 			return nil, fmt.Errorf("workloads: %s: runaway launch loop", spec.Name)
 		}
@@ -141,12 +156,20 @@ func Execute(g *gpu.GPU, spec *Spec, n int, timed bool) (*stats.Run, error) {
 	}
 	agg.Mem = g.Mem.Stats
 	agg.L3HitRate = g.Mem.L3.HitRate()
-	if inst.Check != nil {
+	if inst.Check != nil && !opts.SkipVerify {
 		if err := inst.Check(); err != nil {
 			return nil, fmt.Errorf("workloads: %s verification: %w", spec.Name, err)
 		}
 	}
 	return agg, nil
+}
+
+// Execute runs an instance to completion on g. When timed is true the
+// cycle-level simulator is used; otherwise the functional model.
+//
+// Deprecated: use ExecuteOpts, which also exposes verification control.
+func Execute(g *gpu.GPU, spec *Spec, n int, timed bool) (*stats.Run, error) {
+	return ExecuteOpts(g, spec, ExecOptions{Size: n, Timed: timed})
 }
 
 // widthVariants lists the workloads whose kernels are SIMD-width

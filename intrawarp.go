@@ -18,7 +18,7 @@
 //
 // Quick start:
 //
-//	g := intrawarp.NewGPU(intrawarp.DefaultConfig().WithPolicy(intrawarp.SCC))
+//	g, err := intrawarp.NewGPU(intrawarp.WithPolicy(intrawarp.SCC))
 //	b := intrawarp.NewKernel("scale", intrawarp.SIMD16)
 //	addr := b.Addr(b.Arg(0), b.GlobalID(), 4)
 //	v := b.Vec()
@@ -28,6 +28,11 @@
 //	kernel := b.MustBuild()
 //	run, err := g.Run(intrawarp.LaunchSpec{Kernel: kernel, GlobalSize: 1024, GroupSize: 64, Args: []uint32{buf}})
 //
+// Entry points take functional options (see options.go): machine knobs
+// like WithPolicy and WithWorkers configure NewGPU, WithSize / WithTimed
+// parameterize RunWorkload, and WithOutput / WithQuick parameterize
+// RunExperiment.
+//
 // The workload library (internal/workloads, surfaced through Workloads and
 // RunWorkload) carries the paper's benchmark suite; the experiments
 // registry (Experiments, RunExperiment) regenerates every table and
@@ -36,6 +41,7 @@ package intrawarp
 
 import (
 	"io"
+	"os"
 
 	"intrawarp/internal/asm"
 	"intrawarp/internal/compaction"
@@ -123,8 +129,34 @@ const (
 // DefaultConfig returns the paper's Table 3 machine configuration.
 func DefaultConfig() Config { return gpu.DefaultConfig() }
 
-// NewGPU builds a simulated GPU.
-func NewGPU(cfg Config) *GPU { return gpu.New(cfg) }
+// NewConfig builds a machine configuration: the paper's Table 3 machine
+// refined by the given options, applied in order.
+func NewConfig(opts ...ConfigOption) (Config, error) {
+	cfg := gpu.DefaultConfig()
+	for _, o := range opts {
+		if err := o.applyConfig(&cfg); err != nil {
+			return Config{}, err
+		}
+	}
+	return cfg, nil
+}
+
+// NewGPU builds a simulated GPU from the default configuration refined by
+// the given options.
+func NewGPU(opts ...ConfigOption) (*GPU, error) {
+	cfg, err := NewConfig(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return gpu.New(cfg), nil
+}
+
+// NewGPUFromConfig builds a simulated GPU from a fully-specified
+// configuration.
+//
+// Deprecated: use NewGPU with options (e.g. WithConfig to start from an
+// existing Config).
+func NewGPUFromConfig(cfg Config) *GPU { return gpu.New(cfg) }
 
 // NewKernel starts building a kernel of the given SIMD width.
 func NewKernel(name string, width Width) *Builder { return kbuild.New(name, width) }
@@ -150,21 +182,91 @@ func Workloads() []*Workload { return workloads.All() }
 // WorkloadByName finds a registered benchmark.
 func WorkloadByName(name string) (*Workload, error) { return workloads.ByName(name) }
 
-// RunWorkload executes a benchmark on g (timed when timed is true,
-// functional otherwise) at problem size n (0 = default) and returns its
-// statistics after host-side verification.
-func RunWorkload(g *GPU, w *Workload, n int, timed bool) (*Run, error) {
-	return workloads.Execute(g, w, n, timed)
+// RunWorkload executes a benchmark on g and returns its statistics after
+// host-side verification. By default it runs the fast functional model at
+// the workload's default problem size; refine with WithSize, WithTimed,
+// WithWorkers, and WithoutVerify.
+func RunWorkload(g *GPU, w *Workload, opts ...RunOption) (*Run, error) {
+	var s runSettings
+	for _, o := range opts {
+		if err := o.applyRun(&s); err != nil {
+			return nil, err
+		}
+	}
+	if s.hasWorkers {
+		// Override the functional engine's pool for this run only: the
+		// clone shares memory and EUs, so results land in g as usual.
+		clone := *g
+		clone.Cfg.Workers = s.workers
+		g = &clone
+	}
+	return workloads.ExecuteOpts(g, w, s.exec)
+}
+
+// RunWorkloadN executes a benchmark on g (timed when timed is true,
+// functional otherwise) at problem size n (0 = default).
+//
+// Deprecated: use RunWorkload with WithSize and WithTimed.
+func RunWorkloadN(g *GPU, w *Workload, n int, timed bool) (*Run, error) {
+	opts := []RunOption{WithSize(n)}
+	if timed {
+		opts = append(opts, WithTimed())
+	}
+	return RunWorkload(g, w, opts...)
 }
 
 // Experiments returns the paper-reproduction registry.
 func Experiments() []*Experiment { return experiments.All() }
 
-// RunExperiment regenerates one table or figure, writing its rendering to
-// out. quick selects reduced problem sizes.
-func RunExperiment(id string, out io.Writer, quick bool) error {
-	return experiments.Run(id, &experiments.Context{Out: out, Quick: quick})
+// newExperimentContext folds experiment options over the defaults
+// (standard output, full problem sizes, GOMAXPROCS workers).
+func newExperimentContext(opts []ExperimentOption) (*experiments.Context, error) {
+	ctx := &experiments.Context{Out: os.Stdout}
+	for _, o := range opts {
+		if err := o.applyExperiment(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return ctx, nil
 }
+
+// RunExperiment regenerates one table or figure. By default the rendering
+// goes to standard output at full problem sizes; refine with WithOutput,
+// WithQuick, and WithWorkers.
+func RunExperiment(id string, opts ...ExperimentOption) error {
+	ctx, err := newExperimentContext(opts)
+	if err != nil {
+		return err
+	}
+	return experiments.Run(id, ctx)
+}
+
+// RunAllExperiments regenerates every registered table and figure in ID
+// order. Independent experiments execute concurrently; the combined
+// report is rendered in ID order regardless of worker count.
+func RunAllExperiments(opts ...ExperimentOption) error {
+	ctx, err := newExperimentContext(opts)
+	if err != nil {
+		return err
+	}
+	return experiments.RunAll(ctx)
+}
+
+// RunExperimentTo regenerates one table or figure, writing its rendering
+// to out. quick selects reduced problem sizes.
+//
+// Deprecated: use RunExperiment with WithOutput and WithQuick.
+func RunExperimentTo(id string, out io.Writer, quick bool) error {
+	opts := []ExperimentOption{WithOutput(out)}
+	if quick {
+		opts = append(opts, WithQuick())
+	}
+	return RunExperiment(id, opts...)
+}
+
+// ParsePolicy parses a policy name ("baseline", "ivybridge", "bcc",
+// "scc").
+func ParsePolicy(s string) (Policy, error) { return compaction.ParsePolicy(s) }
 
 // AnalyzeTrace replays execution-mask records through all compaction cost
 // models.

@@ -9,7 +9,10 @@ import (
 // The facade quick-start path: build a kernel, run it timed under SCC,
 // read results back.
 func TestFacadeQuickstart(t *testing.T) {
-	g := NewGPU(DefaultConfig().WithPolicy(SCC))
+	g, err := NewGPU(WithPolicy(SCC))
+	if err != nil {
+		t.Fatal(err)
+	}
 	const n = 256
 	data := make([]float32, n)
 	for i := range data {
@@ -58,7 +61,11 @@ func TestFacadeWorkloadsAndTraces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, err := RunWorkload(NewGPU(DefaultConfig()), w, 256, false)
+	g, err := NewGPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := RunWorkload(g, w, WithSize(256))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,13 +83,13 @@ func TestFacadeExperiments(t *testing.T) {
 		t.Fatalf("only %d experiments registered", len(Experiments()))
 	}
 	var buf bytes.Buffer
-	if err := RunExperiment("rfarea", &buf, true); err != nil {
+	if err := RunExperiment("rfarea", WithOutput(&buf), WithQuick()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "interwarp") {
 		t.Fatalf("unexpected rfarea output:\n%s", buf.String())
 	}
-	if err := RunExperiment("bogus", &buf, true); err == nil {
+	if err := RunExperiment("bogus", WithOutput(&buf), WithQuick()); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

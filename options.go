@@ -1,0 +1,184 @@
+package intrawarp
+
+import (
+	"fmt"
+	"io"
+
+	"intrawarp/internal/experiments"
+	"intrawarp/internal/gpu"
+	"intrawarp/internal/workloads"
+)
+
+// The public entry points take functional options so new simulator knobs
+// (worker pools, memory-system variants, …) can be added without growing
+// positional signatures. Options are interfaces rather than bare function
+// types so one option can apply to several call sites: WithWorkers
+// configures a GPU, a single workload run, or an experiment sweep alike.
+
+// ConfigOption adjusts a machine configuration built by NewConfig or
+// NewGPU.
+type ConfigOption interface {
+	applyConfig(*gpu.Config) error
+}
+
+// RunOption adjusts one RunWorkload execution.
+type RunOption interface {
+	applyRun(*runSettings) error
+}
+
+// ExperimentOption adjusts a RunExperiment or RunAllExperiments sweep.
+type ExperimentOption interface {
+	applyExperiment(*experiments.Context) error
+}
+
+// runSettings collects the effective RunWorkload parameters.
+type runSettings struct {
+	exec       workloads.ExecOptions
+	workers    int
+	hasWorkers bool
+}
+
+type configOptionFunc func(*gpu.Config) error
+
+func (f configOptionFunc) applyConfig(c *gpu.Config) error { return f(c) }
+
+type runOptionFunc func(*runSettings) error
+
+func (f runOptionFunc) applyRun(s *runSettings) error { return f(s) }
+
+type experimentOptionFunc func(*experiments.Context) error
+
+func (f experimentOptionFunc) applyExperiment(c *experiments.Context) error { return f(c) }
+
+// WithSize sets the problem scale of a workload run; 0 selects the
+// workload's default. Negative sizes are rejected.
+func WithSize(n int) RunOption {
+	return runOptionFunc(func(s *runSettings) error {
+		if n < 0 {
+			return fmt.Errorf("intrawarp: WithSize(%d): size must be non-negative", n)
+		}
+		s.exec.Size = n
+		return nil
+	})
+}
+
+// WithTimed selects the cycle-level simulator for a workload run; the
+// default is the fast functional model.
+func WithTimed() RunOption {
+	return runOptionFunc(func(s *runSettings) error {
+		s.exec.Timed = true
+		return nil
+	})
+}
+
+// WithoutVerify skips the host-side result check of a workload run.
+// Sweeps that re-execute one workload under many machine configurations
+// verify one cell and skip the rest.
+func WithoutVerify() RunOption {
+	return runOptionFunc(func(s *runSettings) error {
+		s.exec.SkipVerify = true
+		return nil
+	})
+}
+
+// WithOutput directs an experiment's rendering to w; the default is
+// standard output.
+func WithOutput(w io.Writer) ExperimentOption {
+	return experimentOptionFunc(func(c *experiments.Context) error {
+		if w == nil {
+			return fmt.Errorf("intrawarp: WithOutput(nil): writer must be non-nil")
+		}
+		c.Out = w
+		return nil
+	})
+}
+
+// WithQuick selects reduced problem sizes for a fast experiment run.
+func WithQuick() ExperimentOption {
+	return experimentOptionFunc(func(c *experiments.Context) error {
+		c.Quick = true
+		return nil
+	})
+}
+
+// WithPolicy selects the compaction policy of the simulated machine.
+func WithPolicy(p Policy) ConfigOption {
+	return configOptionFunc(func(c *gpu.Config) error {
+		c.EU.Policy = p
+		return nil
+	})
+}
+
+// WithConfig replaces the whole base configuration; options listed after
+// it refine the given config.
+func WithConfig(cfg Config) ConfigOption {
+	return configOptionFunc(func(c *gpu.Config) error {
+		*c = cfg
+		return nil
+	})
+}
+
+// WithDCBandwidth sets the data-cluster bandwidth in cache lines per
+// cycle (the paper's DC1/DC2 axis). Values below 1 are rejected.
+func WithDCBandwidth(lines int) ConfigOption {
+	return configOptionFunc(func(c *gpu.Config) error {
+		if lines < 1 {
+			return fmt.Errorf("intrawarp: WithDCBandwidth(%d): need at least 1 line/cycle", lines)
+		}
+		c.Mem.DCLinesPerCycle = lines
+		return nil
+	})
+}
+
+// WithPerfectL3 models an always-hitting L3 (the paper's perfect-L3
+// sensitivity study, Fig. 12).
+func WithPerfectL3() ConfigOption {
+	return configOptionFunc(func(c *gpu.Config) error {
+		c.Mem.PerfectL3 = true
+		return nil
+	})
+}
+
+// WithMaxCycles sets the timed simulator's hang guard; 0 keeps the
+// default budget. Negative budgets are rejected.
+func WithMaxCycles(n int64) ConfigOption {
+	return configOptionFunc(func(c *gpu.Config) error {
+		if n < 0 {
+			return fmt.Errorf("intrawarp: WithMaxCycles(%d): budget must be non-negative", n)
+		}
+		c.MaxCycles = n
+		return nil
+	})
+}
+
+// WorkersOption bounds a host worker pool. It applies in all three
+// option positions: as a ConfigOption it sets the GPU's functional-engine
+// pool, as a RunOption it overrides that pool for one workload run, and
+// as an ExperimentOption it bounds the experiment-cell pool.
+type WorkersOption interface {
+	ConfigOption
+	RunOption
+	ExperimentOption
+}
+
+type workersOption int
+
+func (k workersOption) applyConfig(c *gpu.Config) error {
+	c.Workers = int(k)
+	return nil
+}
+
+func (k workersOption) applyRun(s *runSettings) error {
+	s.workers, s.hasWorkers = int(k), true
+	return nil
+}
+
+func (k workersOption) applyExperiment(c *experiments.Context) error {
+	c.Workers = int(k)
+	return nil
+}
+
+// WithWorkers bounds the host worker pool to k goroutines. Values below
+// 1 select runtime.GOMAXPROCS(0); 1 forces serial execution. Parallel
+// runs produce output bit-identical to serial ones (see DESIGN.md §7).
+func WithWorkers(k int) WorkersOption { return workersOption(k) }
