@@ -20,7 +20,7 @@ test:
 # exercise shard ownership rather than the whole experiment suite.
 race:
 	$(GO) test -race ./...
-	$(GO) test -race -tags statsguard ./internal/stats/ ./internal/gpu/ ./internal/workloads/ ./internal/par/
+	$(GO) test -race -tags statsguard ./internal/stats/ ./internal/gpu/ ./internal/workloads/ ./internal/par/ ./internal/serve/
 
 check: build vet test race
 

@@ -10,9 +10,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"intrawarp"
 )
@@ -40,18 +44,23 @@ func main() {
 	if *quick {
 		opts = append(opts, intrawarp.WithQuick())
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch {
 	case *all:
-		err = intrawarp.RunAllExperiments(opts...)
+		err = intrawarp.RunAllExperimentsCtx(ctx, opts...)
 	case *exp != "":
-		err = intrawarp.RunExperiment(*exp, opts...)
+		err = intrawarp.RunExperimentCtx(ctx, *exp, opts...)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simd-bench:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,77 @@
+// Command simd-serve exposes the simulator over HTTP/JSON.
+//
+// Usage:
+//
+//	simd-serve [-addr :8077] [-cache 256] [-concurrency 0] [-queue 64]
+//	           [-timeout 0]
+//
+// Endpoints:
+//
+//	POST /v1/run         execute one workload          {"workload":"bfs","timed":true,...}
+//	POST /v1/experiment  render a paper table/figure   {"id":"fig10","quick":true}
+//	GET  /v1/workloads   list the benchmark suite
+//	GET  /v1/experiments list the experiment registry
+//	GET  /healthz        liveness
+//	GET  /metrics        Prometheus text metrics
+//
+// Identical requests are served from a content-addressed cache
+// (byte-identical responses, X-Cache: hit) and identical concurrent
+// requests share one simulation. See docs/serve.md.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"intrawarp/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8077", "listen address")
+		entries = flag.Int("cache", 256, "result cache entries")
+		conc    = flag.Int("concurrency", 0, "max simultaneous simulations (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "max queued simulations before shedding load")
+		timeout = flag.Duration("timeout", 0, "per-request deadline (0 = none)")
+	)
+	flag.Parse()
+
+	api := serve.New(serve.Config{
+		CacheEntries: *entries,
+		Concurrency:  *conc,
+		MaxQueue:     *queue,
+		Timeout:      *timeout,
+	})
+	srv := &http.Server{Addr: *addr, Handler: api}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("simd-serve listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "simd-serve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Drain politely, then cancel whatever is still simulating.
+	log.Print("simd-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "simd-serve: shutdown:", err)
+	}
+	api.Close()
+}

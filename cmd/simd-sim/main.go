@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"intrawarp"
 )
@@ -70,12 +73,15 @@ func main() {
 		return g
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *compare {
 		fmt.Printf("%-10s %-14s %-14s %-10s\n", "policy", "total cycles", "EU busy", "vs ivb")
 		var ref int64
 		for _, pname := range []string{"baseline", "ivb", "bcc", "scc"} {
 			p, _ := intrawarp.ParsePolicy(pname)
-			run, err := intrawarp.RunWorkload(mkGPU(p), spec,
+			run, err := intrawarp.RunWorkloadCtx(ctx, mkGPU(p), spec,
 				intrawarp.WithSize(*n), intrawarp.WithTimed())
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "simd-sim:", err)
@@ -97,7 +103,7 @@ func main() {
 	if !*functional {
 		runOpts = append(runOpts, intrawarp.WithTimed())
 	}
-	run, err := intrawarp.RunWorkload(mkGPU(policy), spec, runOpts...)
+	run, err := intrawarp.RunWorkloadCtx(ctx, mkGPU(policy), spec, runOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simd-sim:", err)
 		os.Exit(1)

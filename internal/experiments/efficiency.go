@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -27,7 +28,7 @@ func init() {
 // Workloads and traces fan out over a worker pool of the given size
 // (below 1 selects GOMAXPROCS); results land in registry order, so the
 // returned slices are identical at any worker count.
-func workloadRuns(quick bool, workers int) (sim, traces []*stats.Run, err error) {
+func workloadRuns(ctx context.Context, quick bool, workers int) (sim, traces []*stats.Run, err error) {
 	all := workloads.All()
 	sim = make([]*stats.Run, len(all))
 	if err := par.ForErr(workers, len(all), func(i int) error {
@@ -39,7 +40,7 @@ func workloadRuns(quick bool, workers int) (sim, traces []*stats.Run, err error)
 		if quick {
 			n = quickScale(s)
 		}
-		run, err := workloads.ExecuteOpts(g, s, workloads.ExecOptions{Size: n})
+		run, err := workloads.ExecuteCtx(ctx, g, s, workloads.ExecOptions{Size: n})
 		if err != nil {
 			return err
 		}
@@ -87,7 +88,7 @@ func quickScale(s *workloads.Spec) int {
 }
 
 func runFig3(ctx *Context) error {
-	sim, traces, err := workloadRuns(ctx.Quick, ctx.Workers)
+	sim, traces, err := workloadRuns(ctx.context(), ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}
@@ -106,7 +107,7 @@ func runFig3(ctx *Context) error {
 }
 
 func runFig9(ctx *Context) error {
-	sim, traces, err := workloadRuns(ctx.Quick, ctx.Workers)
+	sim, traces, err := workloadRuns(ctx.context(), ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}
@@ -156,8 +157,8 @@ type Fig10Row struct {
 
 // Fig10 computes the headline compaction benefit for every divergent
 // workload, execution-driven and trace-based.
-func Fig10(quick bool, workers int) ([]Fig10Row, error) {
-	sim, traces, err := workloadRuns(quick, workers)
+func Fig10(ctx context.Context, quick bool, workers int) ([]Fig10Row, error) {
+	sim, traces, err := workloadRuns(ctx, quick, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +178,7 @@ func Fig10(quick bool, workers int) ([]Fig10Row, error) {
 }
 
 func runFig10(ctx *Context) error {
-	rows, err := Fig10(ctx.Quick, ctx.Workers)
+	rows, err := Fig10(ctx.context(), ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}

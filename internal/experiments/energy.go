@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"intrawarp/internal/compaction"
@@ -30,7 +31,7 @@ var energyWorkloads = []string{
 }
 
 // Energy measures the weighted dynamic-energy proxy under every policy.
-func Energy(quick bool) ([]EnergyRow, error) {
+func Energy(ctx context.Context, quick bool) ([]EnergyRow, error) {
 	var rows []EnergyRow
 	for _, name := range energyWorkloads {
 		s, err := workloads.ByName(name)
@@ -45,7 +46,7 @@ func Energy(quick bool) ([]EnergyRow, error) {
 		var ref float64
 		for _, p := range compaction.Policies {
 			g := gpu.New(gpu.DefaultConfig().WithPolicy(p))
-			run, err := workloads.Execute(g, s, n, true)
+			run, err := workloads.ExecuteCtx(ctx, g, s, workloads.ExecOptions{Size: n, Timed: true})
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", name, p, err)
 			}
@@ -67,7 +68,7 @@ func Energy(quick bool) ([]EnergyRow, error) {
 }
 
 func runEnergy(ctx *Context) error {
-	rows, err := Energy(ctx.Quick)
+	rows, err := Energy(ctx.context(), ctx.Quick)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,8 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -28,6 +30,20 @@ type Context struct {
 	// indexed, so output rendering is ordered and byte-identical at any
 	// worker count.
 	Workers int
+
+	// Ctx optionally carries cancellation and deadlines into every
+	// simulation an experiment runs; nil means context.Background(). The
+	// engines check it at workgroup granularity, so cancelling stops a
+	// sweep within one workgroup boundary per worker.
+	Ctx context.Context
+}
+
+// context returns the effective cancellation context.
+func (c *Context) context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 func (c *Context) printf(format string, args ...interface{}) {
@@ -76,27 +92,35 @@ func Run(id string, ctx *Context) error {
 // RunAll executes every experiment. Experiments run concurrently on the
 // context's worker pool, each rendering into a private buffer; buffers
 // are flushed to ctx.Out in ID order, so the combined report is
-// byte-identical to a serial run. The first failing experiment (in ID
-// order) determines the returned error.
+// byte-identical to a serial run. A failing experiment renders a FAILED
+// line in place of the rest of its section, the remaining experiments
+// still run and flush, and the joined failures (in ID order) are
+// returned — so a driver that exits non-zero on error reports every
+// broken experiment, including host-side verification failures, instead
+// of silently truncating the report.
 func RunAll(ctx *Context) error {
 	all := All()
 	bufs := make([]bytes.Buffer, len(all))
 	errs := make([]error, len(all))
 	par.For(ctx.Workers, len(all), func(i int) {
-		sub := &Context{Out: &bufs[i], Quick: ctx.Quick, Workers: ctx.Workers}
+		sub := &Context{Out: &bufs[i], Quick: ctx.Quick, Workers: ctx.Workers, Ctx: ctx.Ctx}
 		sub.printf("== %s: %s ==\n", all[i].ID, all[i].Title)
 		errs[i] = all[i].Run(sub)
+		if errs[i] != nil {
+			sub.printf("FAILED: %v\n", errs[i])
+		}
 		sub.printf("\n")
 	})
+	var failed []error
 	for i, e := range all {
-		if errs[i] != nil {
-			return fmt.Errorf("experiments: %s: %w", e.ID, errs[i])
-		}
 		if _, err := ctx.Out.Write(bufs[i].Bytes()); err != nil {
 			return err
 		}
+		if errs[i] != nil {
+			failed = append(failed, fmt.Errorf("experiments: %s: %w", e.ID, errs[i]))
+		}
 	}
-	return nil
+	return errors.Join(failed...)
 }
 
 // table renders rows of columns with right-padded headers.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestRegistryComplete(t *testing.T) {
 // coherent case, 0xF0F0 and 0xAAAA roughly double, 0xFF0F lands between;
 // under SCC, 0xF0F0 and 0xAAAA drop back toward the coherent time.
 func TestFig8Shape(t *testing.T) {
-	res, err := Fig8(true, 0)
+	res, err := Fig8(context.Background(), true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestFig8Shape(t *testing.T) {
 // Table 2 shape: the benefit attribution moves from SCC-only (L1, L2)
 // toward BCC and IVB at deeper nesting (L3, L4).
 func TestTable2Shape(t *testing.T) {
-	rows, err := Table2(true, 0)
+	rows, err := Table2(context.Background(), true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestAblationDtypeShape(t *testing.T) {
-	rows, err := AblationDtype(true, 0)
+	rows, err := AblationDtype(context.Background(), true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestRFAreaShape(t *testing.T) {
 // Fig. 10 shape: divergent workloads average around the paper's ~20%,
 // with a maximum in the 30–45%+ range, and SCC ≥ BCC everywhere.
 func TestFig10Shape(t *testing.T) {
-	rows, err := Fig10(true, 0)
+	rows, err := Fig10(context.Background(), true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestFig10Shape(t *testing.T) {
 // beats the idealized TBC estimate (lane conflicts limit regrouping), and
 // TBC inflates per-warp memory divergence while intra-warp schemes don't.
 func TestInterwarpShape(t *testing.T) {
-	rows, err := Interwarp(true)
+	rows, err := Interwarp(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestInterwarpShape(t *testing.T) {
 // divergent workloads; BCC must save operand-fetch energy that SCC does
 // not; crossbar cost must stay small.
 func TestEnergyShape(t *testing.T) {
-	rows, err := Energy(true)
+	rows, err := Energy(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestEnergyShape(t *testing.T) {
 // Width ablation shape (§7): going from SIMD8 to SIMD32, efficiency must
 // not rise and the SCC benefit must grow for every workload.
 func TestAblationWidthShape(t *testing.T) {
-	rows, err := AblationWidth(true)
+	rows, err := AblationWidth(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestAblationWidthShape(t *testing.T) {
 // Stall attribution shape: shares sum to ~1 per workload, and lavamd (the
 // perfect-L3-immune kernel of Fig. 12) is memory-stall heavy.
 func TestStallsShape(t *testing.T) {
-	rows, err := Stalls(true)
+	rows, err := Stalls(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}

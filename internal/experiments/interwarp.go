@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"intrawarp/internal/eu"
@@ -37,7 +38,7 @@ var interwarpWorkloads = []string{
 // Interwarp captures per-workgroup, per-thread mask streams from each
 // workload's functional run and feeds them through the inter-warp
 // estimator.
-func Interwarp(quick bool) ([]InterwarpRow, error) {
+func Interwarp(ctx context.Context, quick bool) ([]InterwarpRow, error) {
 	var rows []InterwarpRow
 	for _, name := range interwarpWorkloads {
 		s, err := workloads.ByName(name)
@@ -70,7 +71,7 @@ func Interwarp(quick bool) ([]InterwarpRow, error) {
 			if ls == nil {
 				break
 			}
-			if _, err := g.RunFunctional(*ls, visit); err != nil {
+			if _, err := g.RunFunctionalCtx(ctx, *ls, visit); err != nil {
 				return nil, err
 			}
 		}
@@ -109,7 +110,7 @@ func orDefault(n, def int) int {
 }
 
 func runInterwarp(ctx *Context) error {
-	rows, err := Interwarp(ctx.Quick)
+	rows, err := Interwarp(ctx.context(), ctx.Quick)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"intrawarp/internal/compaction"
@@ -58,14 +59,14 @@ func patternKernel(pattern uint16, depth int) (*isa.Kernel, error) {
 }
 
 // runPattern measures total cycles of the pattern kernel under a policy.
-func runPattern(pattern uint16, policy compaction.Policy, n, depth int) (total, busy int64, err error) {
+func runPattern(ctx context.Context, pattern uint16, policy compaction.Policy, n, depth int) (total, busy int64, err error) {
 	k, err := patternKernel(pattern, depth)
 	if err != nil {
 		return 0, 0, err
 	}
 	g := gpu.New(gpu.DefaultConfig().WithPolicy(policy))
 	out := g.AllocU32(n, make([]uint32, n))
-	run, err := g.Run(gpu.LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 96, Args: []uint32{out}})
+	run, err := g.RunCtx(ctx, gpu.LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 96, Args: []uint32{out}})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -85,7 +86,7 @@ type Fig8Result struct {
 // execute on a worker pool of the given size (below 1 selects GOMAXPROCS);
 // normalization against the 0xFFFF reference happens after all cells land,
 // so results are identical at any worker count.
-func Fig8(quick bool, workers int) ([]Fig8Result, error) {
+func Fig8(ctx context.Context, quick bool, workers int) ([]Fig8Result, error) {
 	n, depth := 4096, 24
 	if quick {
 		n, depth = 1024, 16
@@ -94,7 +95,7 @@ func Fig8(quick bool, workers int) ([]Fig8Result, error) {
 	totals := make([]int64, len(Fig8Patterns)*npol)
 	err := par.ForErr(workers, len(totals), func(i int) error {
 		pat, p := Fig8Patterns[i/npol], compaction.Policies[i%npol]
-		total, _, err := runPattern(pat, p, n, depth)
+		total, _, err := runPattern(ctx, pat, p, n, depth)
 		totals[i] = total
 		return err
 	})
@@ -121,7 +122,7 @@ func Fig8(quick bool, workers int) ([]Fig8Result, error) {
 }
 
 func runFig8(ctx *Context) error {
-	results, err := Fig8(ctx.Quick, ctx.Workers)
+	results, err := Fig8(ctx.context(), ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}
@@ -183,7 +184,7 @@ type Table2Row struct {
 
 // Table2 measures EU busy cycles of the nested micro-benchmark under all
 // policies. The level × policy cells fan out over a worker pool.
-func Table2(quick bool, workers int) ([]Table2Row, error) {
+func Table2(ctx context.Context, quick bool, workers int) ([]Table2Row, error) {
 	n, depth := 2048, 24
 	if quick {
 		n, depth = 512, 16
@@ -203,7 +204,7 @@ func Table2(quick bool, workers int) ([]Table2Row, error) {
 		k, p := kernels[i/npol], compaction.Policies[i%npol]
 		g := gpu.New(gpu.DefaultConfig().WithPolicy(p))
 		out := g.AllocU32(n, make([]uint32, n))
-		run, err := g.Run(gpu.LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 96, Args: []uint32{out}})
+		run, err := g.RunCtx(ctx, gpu.LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 96, Args: []uint32{out}})
 		if err != nil {
 			return err
 		}
@@ -234,7 +235,7 @@ func Table2(quick bool, workers int) ([]Table2Row, error) {
 }
 
 func runTable2(ctx *Context) error {
-	rows, err := Table2(ctx.Quick, ctx.Workers)
+	rows, err := Table2(ctx.context(), ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}
@@ -258,7 +259,7 @@ type DtypeRow struct {
 // a one-quad-active pattern: f64 executes more group cycles per
 // instruction, so compaction has more to harvest per §4.1. The per-dtype
 // measurements fan out over a worker pool.
-func AblationDtype(quick bool, workers int) ([]DtypeRow, error) {
+func AblationDtype(ctx context.Context, quick bool, workers int) ([]DtypeRow, error) {
 	n := 2048
 	depth := 24
 	if quick {
@@ -293,7 +294,7 @@ func AblationDtype(quick bool, workers int) ([]DtypeRow, error) {
 		for i, p := range []compaction.Policy{compaction.Baseline, compaction.BCC} {
 			g := gpu.New(gpu.DefaultConfig().WithPolicy(p))
 			out := g.AllocU32(n, make([]uint32, n))
-			run, err := g.Run(gpu.LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 96, Args: []uint32{out}})
+			run, err := g.RunCtx(ctx, gpu.LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 96, Args: []uint32{out}})
 			if err != nil {
 				return err
 			}
@@ -310,7 +311,7 @@ func AblationDtype(quick bool, workers int) ([]DtypeRow, error) {
 }
 
 func runAblationDtype(ctx *Context) error {
-	rows, err := AblationDtype(ctx.Quick, ctx.Workers)
+	rows, err := AblationDtype(ctx.context(), ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}
@@ -327,7 +328,7 @@ func runAblationDtype(ctx *Context) error {
 // compression raises the demanded issue rate, so a narrower front end
 // forfeits part of the benefit (§4.3's balance argument). The four
 // (issue width, policy) cells fan out over a worker pool.
-func AblationIssue(quick bool, workers int) (map[string]int64, error) {
+func AblationIssue(ctx context.Context, quick bool, workers int) (map[string]int64, error) {
 	n, depth := 2048, 4
 	if quick {
 		n, depth = 512, 4
@@ -352,7 +353,7 @@ func AblationIssue(quick bool, workers int) (map[string]int64, error) {
 		cfg.EU.IssueWidth = cells[i].iw
 		g := gpu.New(cfg)
 		buf := g.AllocU32(n, make([]uint32, n))
-		run, err := g.Run(gpu.LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 96, Args: []uint32{buf}})
+		run, err := g.RunCtx(ctx, gpu.LaunchSpec{Kernel: k, GlobalSize: n, GroupSize: 96, Args: []uint32{buf}})
 		if err != nil {
 			return err
 		}
@@ -382,7 +383,7 @@ type FrontendRow struct {
 // stalls the thread's front end, and those stalls do not compress. The
 // penalty × policy cells fan out over a worker pool; only the first cell
 // verifies the device result (the rest are re-runs of the same compute).
-func AblationFrontend(quick bool, workers int) ([]FrontendRow, error) {
+func AblationFrontend(ctx context.Context, quick bool, workers int) ([]FrontendRow, error) {
 	w, err := workloads.ByName("bsearch")
 	if err != nil {
 		return nil, err
@@ -399,7 +400,7 @@ func AblationFrontend(quick bool, workers int) ([]FrontendRow, error) {
 		cfg := gpu.DefaultConfig().WithPolicy(p)
 		cfg.EU.JumpPenalty = pen
 		g := gpu.New(cfg)
-		run, err := workloads.ExecuteOpts(g, w, workloads.ExecOptions{Size: n, Timed: true, SkipVerify: i != 0})
+		run, err := workloads.ExecuteCtx(ctx, g, w, workloads.ExecOptions{Size: n, Timed: true, SkipVerify: i != 0})
 		if err != nil {
 			return err
 		}
@@ -418,7 +419,7 @@ func AblationFrontend(quick bool, workers int) ([]FrontendRow, error) {
 }
 
 func runAblationFrontend(ctx *Context) error {
-	rows, err := AblationFrontend(ctx.Quick, ctx.Workers)
+	rows, err := AblationFrontend(ctx.context(), ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}
@@ -433,7 +434,7 @@ func runAblationFrontend(ctx *Context) error {
 }
 
 func runAblationIssue(ctx *Context) error {
-	res, err := AblationIssue(ctx.Quick, ctx.Workers)
+	res, err := AblationIssue(ctx.context(), ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}

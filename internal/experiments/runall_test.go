@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// withStubRegistry swaps the global registry for the test's experiments
+// and restores it afterwards. Package tests run sequentially, so the
+// swap cannot leak into other tests.
+func withStubRegistry(t *testing.T, stubs []*Experiment) {
+	t.Helper()
+	saved := registry
+	registry = stubs
+	t.Cleanup(func() { registry = saved })
+}
+
+// TestRunAllReportsEveryFailure pins the sweep's failure contract: every
+// experiment runs, failed sections render a FAILED line in place, the
+// report stays ID-ordered and complete, and the returned error joins
+// every failure — so simd-bench -all exits non-zero when any host-side
+// verification fails, while still printing the rest of the report.
+func TestRunAllReportsEveryFailure(t *testing.T) {
+	withStubRegistry(t, []*Experiment{
+		{ID: "a-ok", Title: "passes", Run: func(ctx *Context) error {
+			ctx.printf("all good\n")
+			return nil
+		}},
+		{ID: "m-bad", Title: "fails mid-suite", Run: func(ctx *Context) error {
+			ctx.printf("partial output\n")
+			return fmt.Errorf("verification: checksum mismatch")
+		}},
+		{ID: "z-bad", Title: "fails last", Run: func(ctx *Context) error {
+			return errors.New("kaput")
+		}},
+	})
+
+	var buf bytes.Buffer
+	err := RunAll(&Context{Out: &buf, Workers: 2})
+	if err == nil {
+		t.Fatal("RunAll swallowed the failures")
+	}
+	for _, frag := range []string{"m-bad", "checksum mismatch", "z-bad", "kaput"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("joined error missing %q: %v", frag, err)
+		}
+	}
+
+	out := buf.String()
+	for _, frag := range []string{
+		"== a-ok", "all good",
+		"== m-bad", "partial output", "FAILED: verification: checksum mismatch",
+		"== z-bad", "FAILED: kaput",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Index(out, "== a-ok") > strings.Index(out, "== m-bad") ||
+		strings.Index(out, "== m-bad") > strings.Index(out, "== z-bad") {
+		t.Errorf("report sections out of ID order:\n%s", out)
+	}
+}
+
+// TestRunAllPropagatesCancellation checks that a cancelled sweep context
+// reaches the experiments and surfaces in the joined error.
+func TestRunAllPropagatesCancellation(t *testing.T) {
+	withStubRegistry(t, []*Experiment{
+		{ID: "ctx-probe", Title: "observes the context", Run: func(ctx *Context) error {
+			return ctx.context().Err()
+		}},
+	})
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := RunAll(&Context{Out: &buf, Ctx: cctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

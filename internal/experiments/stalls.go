@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"intrawarp/internal/compaction"
 	"intrawarp/internal/gpu"
 	"intrawarp/internal/stats"
@@ -27,7 +29,7 @@ var stallWorkloads = []string{
 // windows: workloads whose EU-cycle savings fail to reach execution time
 // (bfs, lavamd in Fig. 12) show memory-dominated breakdowns, while
 // compute-bound kernels show issued-dominated ones.
-func Stalls(quick bool) ([]StallRow, error) {
+func Stalls(ctx context.Context, quick bool) ([]StallRow, error) {
 	var rows []StallRow
 	for _, name := range stallWorkloads {
 		s, err := workloads.ByName(name)
@@ -39,7 +41,7 @@ func Stalls(quick bool) ([]StallRow, error) {
 			n = quickScale(s)
 		}
 		g := gpu.New(gpu.DefaultConfig().WithPolicy(compaction.SCC))
-		run, err := workloads.Execute(g, s, n, true)
+		run, err := workloads.ExecuteCtx(ctx, g, s, workloads.ExecOptions{Size: n, Timed: true})
 		if err != nil {
 			return nil, err
 		}
@@ -53,7 +55,7 @@ func Stalls(quick bool) ([]StallRow, error) {
 }
 
 func runStalls(ctx *Context) error {
-	rows, err := Stalls(ctx.Quick)
+	rows, err := Stalls(ctx.context(), ctx.Quick)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,12 +23,12 @@ func init() {
 // verify gates the host-side result check: sweeps verify one cell per
 // workload and skip the rest (all cells compute identical architectural
 // results, a tested invariant).
-func timedRun(s *workloads.Spec, p compaction.Policy, dcBW int, perfectL3 bool, n int, verify bool) (*stats.Run, error) {
+func timedRun(ctx context.Context, s *workloads.Spec, p compaction.Policy, dcBW int, perfectL3 bool, n int, verify bool) (*stats.Run, error) {
 	cfg := gpu.DefaultConfig().WithPolicy(p)
 	cfg.Mem.DCLinesPerCycle = dcBW
 	cfg.Mem.PerfectL3 = perfectL3
 	g := gpu.New(cfg)
-	return workloads.ExecuteOpts(g, s, workloads.ExecOptions{Size: n, Timed: true, SkipVerify: !verify})
+	return workloads.ExecuteCtx(ctx, g, s, workloads.ExecOptions{Size: n, Timed: true, SkipVerify: !verify})
 }
 
 // TimingRow captures one workload's timed comparison against the IVB
@@ -65,7 +66,7 @@ type timingCell struct {
 // rendered output — identical at any worker count. Only each workload's
 // first cell verifies device results against the host reference; the
 // remaining cells are policy/bandwidth re-runs of the same computation.
-func timingStudy(set []*workloads.Spec, quick, withPL3 bool, workers int) ([]TimingRow, error) {
+func timingStudy(ctx context.Context, set []*workloads.Spec, quick, withPL3 bool, workers int) ([]TimingRow, error) {
 	pols := []compaction.Policy{compaction.IvyBridge, compaction.BCC, compaction.SCC}
 	var cells []timingCell
 	for wl := range set {
@@ -89,7 +90,7 @@ func timingStudy(set []*workloads.Spec, quick, withPL3 bool, workers int) ([]Tim
 		if quick {
 			n = quickScale(s)
 		}
-		r, err := timedRun(s, c.p, c.dc, c.pl3, n, c.verify)
+		r, err := timedRun(ctx, s, c.p, c.dc, c.pl3, n, c.verify)
 		if err != nil {
 			return fmt.Errorf("%s/%s/dc%d/pl3=%v: %w", s.Name, c.p, c.dc, c.pl3, err)
 		}
@@ -140,12 +141,12 @@ func timingStudy(set []*workloads.Spec, quick, withPL3 bool, workers int) ([]Tim
 
 // Fig11 runs the ray-tracing timing study on a worker pool of the given
 // size (below 1 selects GOMAXPROCS).
-func Fig11(quick bool, workers int) ([]TimingRow, error) {
-	return timingStudy(workloads.ByClass("raytrace"), quick, false, workers)
+func Fig11(ctx context.Context, quick bool, workers int) ([]TimingRow, error) {
+	return timingStudy(ctx, workloads.ByClass("raytrace"), quick, false, workers)
 }
 
 func runFig11(ctx *Context) error {
-	rows, err := Fig11(ctx.Quick, ctx.Workers)
+	rows, err := Fig11(ctx.context(), ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}
@@ -162,12 +163,12 @@ func runFig11(ctx *Context) error {
 }
 
 // Fig12 runs the Rodinia timing study including the perfect-L3 model.
-func Fig12(quick bool, workers int) ([]TimingRow, error) {
-	return timingStudy(workloads.ByClass("rodinia"), quick, true, workers)
+func Fig12(ctx context.Context, quick bool, workers int) ([]TimingRow, error) {
+	return timingStudy(ctx, workloads.ByClass("rodinia"), quick, true, workers)
 }
 
 func runFig12(ctx *Context) error {
-	rows, err := Fig12(ctx.Quick, ctx.Workers)
+	rows, err := Fig12(ctx.context(), ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}
@@ -189,11 +190,11 @@ type Table4Summary struct {
 }
 
 // Table4 aggregates the summary statistics over the divergent sets.
-func Table4(quick bool, workers int) (*Table4Summary, error) {
+func Table4(ctx context.Context, quick bool, workers int) (*Table4Summary, error) {
 	out := &Table4Summary{}
 
 	// EU-cycle rows: execution-driven divergent set.
-	sim, traces, err := workloadRuns(quick, workers)
+	sim, traces, err := workloadRuns(ctx, quick, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -235,7 +236,7 @@ func Table4(quick bool, workers int) (*Table4Summary, error) {
 			set = append(set, s)
 		}
 	}
-	rows, err := timingStudy(set, quick, false, workers)
+	rows, err := timingStudy(ctx, set, quick, false, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -250,7 +251,7 @@ func Table4(quick bool, workers int) (*Table4Summary, error) {
 }
 
 func runTable4(ctx *Context) error {
-	s, err := Table4(ctx.Quick, ctx.Workers)
+	s, err := Table4(ctx.context(), ctx.Quick, ctx.Workers)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"intrawarp/internal/compaction"
@@ -30,7 +31,7 @@ var widthWorkloads = []string{"bsearch", "urng", "kmeans", "particlefilter"}
 // efficiency and compaction benefit, reproducing the paper's conclusion
 // that wider warp widths (NVIDIA's 32, AMD's 64) lose more efficiency to
 // divergence and leave more for intra-warp compaction to harvest.
-func AblationWidth(quick bool) ([]WidthRow, error) {
+func AblationWidth(ctx context.Context, quick bool) ([]WidthRow, error) {
 	var rows []WidthRow
 	for _, name := range widthWorkloads {
 		base, err := workloads.ByName(name)
@@ -47,7 +48,7 @@ func AblationWidth(quick bool) ([]WidthRow, error) {
 				return nil, err
 			}
 			g := gpu.New(gpu.DefaultConfig())
-			run, err := workloads.Execute(g, s, n, false)
+			run, err := workloads.ExecuteCtx(ctx, g, s, workloads.ExecOptions{Size: n})
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", s.Name, err)
 			}
@@ -63,7 +64,7 @@ func AblationWidth(quick bool) ([]WidthRow, error) {
 }
 
 func runAblationWidth(ctx *Context) error {
-	rows, err := AblationWidth(ctx.Quick)
+	rows, err := AblationWidth(ctx.context(), ctx.Quick)
 	if err != nil {
 		return err
 	}

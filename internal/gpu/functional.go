@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 
 	"intrawarp/internal/eu"
@@ -84,6 +85,16 @@ func (g *GPU) runWorkgroup(pool []*eu.Thread, spec *LaunchSpec, wg int, run *sta
 // forces serial execution: trace capture needs the exact serial
 // interleaving of the record stream.
 func (g *GPU) RunFunctional(spec LaunchSpec, visit InstrVisitor) (*stats.Run, error) {
+	return g.RunFunctionalCtx(context.Background(), spec, visit)
+}
+
+// RunFunctionalCtx is RunFunctional with cancellation: ctx is checked at
+// workgroup granularity, so when it is cancelled every in-flight
+// workgroup finishes, no further workgroup starts, and ctx.Err() is
+// returned. Which workgroups completed before the cut is
+// scheduling-dependent, but the error is not: a cancelled run never
+// returns partial statistics.
+func (g *GPU) RunFunctionalCtx(ctx context.Context, spec LaunchSpec, visit InstrVisitor) (*stats.Run, error) {
 	threadsPerWG, numWGs, err := spec.validate(g.Cfg)
 	if err != nil {
 		return nil, err
@@ -102,6 +113,9 @@ func (g *GPU) RunFunctional(spec LaunchSpec, visit InstrVisitor) (*stats.Run, er
 			pool[i] = &eu.Thread{}
 		}
 		for wg := 0; wg < numWGs; wg++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if err := g.runWorkgroup(pool, &spec, wg, run, visit); err != nil {
 				return nil, err
 			}
@@ -124,6 +138,10 @@ func (g *GPU) RunFunctional(spec LaunchSpec, visit InstrVisitor) (*stats.Run, er
 	}
 	g.Mem.Mem.SetShared(true)
 	par.ForWorker(workers, numWGs, func(worker, wg int) {
+		if err := ctx.Err(); err != nil {
+			errs[wg] = err
+			return
+		}
 		shard := stats.NewRun(spec.Kernel.Name, spec.Kernel.Width.Lanes())
 		errs[wg] = g.runWorkgroup(pools[worker], &spec, wg, shard, nil)
 		shard.Release()

@@ -7,6 +7,7 @@
 package gpu
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -218,10 +219,26 @@ func initThread(th *eu.Thread, spec *LaunchSpec, wg, tIdx int, slm *memory.SLM, 
 // Run executes a timed, cycle-level simulation of the launch and returns
 // the collected statistics.
 func (g *GPU) Run(spec LaunchSpec) (*stats.Run, error) {
+	return g.RunCtx(context.Background(), spec)
+}
+
+// ctxCheckMask gates how often the timed cycle loop polls for
+// cancellation: every 4096 simulated cycles, far finer than a workgroup
+// lifetime, at negligible cost.
+const ctxCheckMask = 1<<12 - 1
+
+// RunCtx is Run with cancellation: when ctx is cancelled or its deadline
+// passes, the simulation stops within a few thousand simulated cycles
+// (well under one workgroup's lifetime) and ctx.Err() is returned.
+func (g *GPU) RunCtx(ctx context.Context, spec LaunchSpec) (*stats.Run, error) {
 	threadsPerWG, numWGs, err := spec.validate(g.Cfg)
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	done := ctx.Done()
 	run := stats.NewRun(spec.Kernel.Name, spec.Kernel.Width.Lanes())
 	run.TimedPolicy = g.Cfg.EU.Policy
 
@@ -299,6 +316,13 @@ func (g *GPU) Run(spec LaunchSpec) (*stats.Run, error) {
 		cycle++
 		if cycle > g.Cfg.MaxCycles {
 			return nil, fmt.Errorf("gpu: kernel %s exceeded %d cycles", spec.Kernel.Name, g.Cfg.MaxCycles)
+		}
+		if cycle&ctxCheckMask == 0 && done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
 		}
 	}
 

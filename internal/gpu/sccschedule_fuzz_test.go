@@ -1,0 +1,102 @@
+package gpu
+
+import (
+	"testing"
+
+	"intrawarp/internal/compaction"
+	"intrawarp/internal/mask"
+)
+
+// FuzzSCCSchedule cross-checks the SCC crossbar control algorithm
+// (paper Fig. 6) against its optimality claim for arbitrary execution
+// masks: every schedule must take exactly max(1, ceil(popcount/group))
+// cycles — the bound the paper's cycle-compression argument rests on —
+// and must execute each active element exactly once from a position the
+// mask really enables. The policy cost model and the O(width) swizzle
+// counter are checked against the materialized schedule at the same
+// time, since the simulator's hot paths use those instead of building
+// schedules.
+func FuzzSCCSchedule(f *testing.F) {
+	// The paper's shapes: coherent halves, quad-aligned holes, scattered
+	// lanes (Fig. 8's 0xAAAA worst case), tail masks, and the empties.
+	seeds := []uint32{
+		0x0000, 0x0001, 0x00FF, 0xFF00, 0xF0F0, 0x0F0F,
+		0xAAAA, 0x5555, 0xFF0F, 0xFFFF, 0x8421, 0x7BDE,
+		0xFFFFFFFF, 0xDEADBEEF,
+	}
+	for _, bits := range seeds {
+		for _, width := range []uint8{4, 8, 16, 32} {
+			f.Add(bits, width, uint8(4))
+		}
+		f.Add(bits, uint8(16), uint8(1))
+		f.Add(bits, uint8(16), uint8(2))
+	}
+
+	f.Fuzz(func(t *testing.T, bits uint32, widthIn, groupIn uint8) {
+		widths := []int{4, 8, 16, 32}
+		groups := []int{1, 2, 4}
+		width := widths[int(widthIn)%len(widths)]
+		group := groups[int(groupIn)%len(groups)]
+
+		m := mask.Mask(bits).Trunc(width)
+		sched := compaction.ComputeSchedule(m, width, group)
+
+		pop := m.PopCount()
+		optimal := (pop + group - 1) / group
+		if optimal == 0 {
+			optimal = 1 // an all-off instruction still issues for one cycle
+		}
+		if got := len(sched.Cycles); got != optimal {
+			t.Fatalf("mask %#x width=%d group=%d: schedule has %d cycles, optimum ceil(%d/%d)=%d\n%s",
+				bits, width, group, got, pop, group, optimal, sched)
+		}
+		if got := compaction.SCC.Cycles(m, width, group); got != optimal {
+			t.Fatalf("mask %#x width=%d group=%d: SCC cost model charges %d cycles, optimum %d",
+				bits, width, group, got, optimal)
+		}
+
+		// Soundness: each cycle configures exactly `group` ALU lanes, and
+		// across the schedule every active element executes exactly once.
+		quads := mask.QuadCount(width, group)
+		covered := map[[2]int]int{}
+		enabled := 0
+		for c, cyc := range sched.Cycles {
+			if len(cyc) != group {
+				t.Fatalf("cycle %d has %d lane slots, want %d", c, len(cyc), group)
+			}
+			for n, a := range cyc {
+				if !a.Enabled {
+					continue
+				}
+				enabled++
+				q, src := int(a.Quad), int(a.SrcLane)
+				if q < 0 || q >= quads || src < 0 || src >= group {
+					t.Fatalf("cycle %d lane %d routes out of range: quad %d src %d", c, n, q, src)
+				}
+				if !m.Quad(q, group).Lane(src) {
+					t.Fatalf("cycle %d lane %d executes inactive element quad %d lane %d\n%s",
+						c, n, q, src, sched)
+				}
+				covered[[2]int{q, src}]++
+			}
+		}
+		if enabled != pop {
+			t.Fatalf("schedule enables %d lane slots for %d active elements\n%s", enabled, pop, sched)
+		}
+		for key, n := range covered {
+			if n != 1 {
+				t.Fatalf("element quad %d lane %d executed %d times\n%s", key[0], key[1], n, sched)
+			}
+		}
+
+		// The fast path must agree with the materialized schedule, and a
+		// BCC-only schedule must never engage the crossbar.
+		if fast, slow := compaction.SwizzleCount(m, width, group), sched.SwizzleCount(); fast != slow {
+			t.Fatalf("mask %#x width=%d group=%d: SwizzleCount fast path %d != schedule %d",
+				bits, width, group, fast, slow)
+		}
+		if sched.BCCOnly && sched.SwizzleCount() != 0 {
+			t.Fatalf("mask %#x: BCC-only schedule swizzles\n%s", bits, sched)
+		}
+	})
+}

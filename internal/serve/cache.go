@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is a size-bounded LRU over content-addressed response bytes.
+// Entries are the exact bytes written to the first client, so a hit is
+// byte-identical to the miss that populated it by construction.
+type cache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recent
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newCache(max int) *cache {
+	return &cache{max: max, order: list.New(), entries: map[string]*list.Element{}}
+}
+
+func (c *cache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+func (c *cache) add(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics are the server's operational counters, exposed in Prometheus
+// text format at GET /metrics.
+type metrics struct {
+	requests   atomic.Int64 // POST requests accepted for processing
+	cacheHits  atomic.Int64
+	cacheMiss  atomic.Int64
+	coalesced  atomic.Int64 // requests that joined an existing flight
+	simRuns    atomic.Int64 // simulations actually executed
+	rejected   atomic.Int64 // 503s from the admission queue
+	cancelled  atomic.Int64 // runs stopped by cancellation
+	errors     atomic.Int64 // non-cancellation simulation failures
+	queueDepth atomic.Int64 // requests waiting for a run slot
+	inFlight   atomic.Int64 // simulations holding a run slot
+}
+
+func (m *metrics) render(w io.Writer, cacheLen int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP simd_serve_%s %s\n# TYPE simd_serve_%s counter\nsimd_serve_%s %d\n",
+			name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP simd_serve_%s %s\n# TYPE simd_serve_%s gauge\nsimd_serve_%s %d\n",
+			name, help, name, name, v)
+	}
+	counter("requests_total", "API requests accepted for processing", m.requests.Load())
+	counter("cache_hits_total", "requests served from the result cache", m.cacheHits.Load())
+	counter("cache_misses_total", "requests not found in the result cache", m.cacheMiss.Load())
+	counter("coalesced_total", "requests coalesced onto an in-flight identical run", m.coalesced.Load())
+	counter("simulations_total", "simulations executed", m.simRuns.Load())
+	counter("rejected_total", "requests rejected by the bounded admission queue", m.rejected.Load())
+	counter("cancelled_total", "simulations stopped by cancellation", m.cancelled.Load())
+	counter("errors_total", "simulations that failed", m.errors.Load())
+	gauge("queue_depth", "requests waiting for a run slot", m.queueDepth.Load())
+	gauge("in_flight", "simulations currently holding a run slot", m.inFlight.Load())
+	gauge("cache_entries", "entries in the result cache", int64(cacheLen))
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"intrawarp/internal/compaction"
+	"intrawarp/internal/experiments"
+	"intrawarp/internal/workloads"
+)
+
+// RunRequest asks for one workload execution. The zero value of every
+// optional field selects the library default, so sparse requests
+// canonicalize to the same cache key as their explicit equivalents.
+type RunRequest struct {
+	// Workload is a registered benchmark name (see GET /v1/workloads).
+	Workload string `json:"workload"`
+	// Size is the problem scale; 0 selects the workload default.
+	Size int `json:"size,omitempty"`
+	// Timed selects the cycle-level simulator (default: functional).
+	Timed bool `json:"timed,omitempty"`
+	// Policy is the compaction policy name ("baseline", "ivb", "bcc",
+	// "scc"); empty selects Ivy Bridge.
+	Policy string `json:"policy,omitempty"`
+	// DCLinesPerCycle is the data-cluster bandwidth; 0 selects the
+	// paper's DC1.
+	DCLinesPerCycle int `json:"dcLinesPerCycle,omitempty"`
+	// PerfectL3 models an always-hitting L3.
+	PerfectL3 bool `json:"perfectL3,omitempty"`
+	// SkipVerify drops the host-side result check.
+	SkipVerify bool `json:"skipVerify,omitempty"`
+	// Workers bounds the functional engine's worker pool. It is a
+	// scheduling knob — results are bit-identical at any worker count —
+	// so it is excluded from the cache key.
+	Workers int `json:"workers,omitempty"`
+}
+
+// normalize validates the request and folds equivalent spellings onto
+// one canonical form (the form the cache key is computed from).
+func (r *RunRequest) normalize() error {
+	if r.Workload == "" {
+		return fmt.Errorf("workload is required")
+	}
+	if _, err := workloads.ByName(r.Workload); err != nil {
+		return err
+	}
+	if r.Policy == "" {
+		r.Policy = compaction.IvyBridge.String()
+	}
+	p, err := compaction.ParsePolicy(r.Policy)
+	if err != nil {
+		return err
+	}
+	r.Policy = p.String()
+	if r.Size < 0 {
+		r.Size = 0
+	}
+	if r.DCLinesPerCycle < 0 {
+		return fmt.Errorf("dcLinesPerCycle must be non-negative")
+	}
+	if r.DCLinesPerCycle == 0 {
+		r.DCLinesPerCycle = 1
+	}
+	if r.Workers < 0 {
+		r.Workers = 0
+	}
+	return nil
+}
+
+// key is the content address of the canonicalized request. Workers is
+// zeroed first: it never changes the result bytes, only the wall-clock.
+func (r RunRequest) key() string {
+	r.Workers = 0
+	return hashJSON("run", r)
+}
+
+// ExperimentRequest asks for one paper table/figure rendering, or the
+// whole suite with ID "all".
+type ExperimentRequest struct {
+	ID    string `json:"id"`
+	Quick bool   `json:"quick,omitempty"`
+	// Workers bounds the experiment cell pool; excluded from the cache
+	// key (output is byte-identical at any worker count).
+	Workers int `json:"workers,omitempty"`
+}
+
+func (r *ExperimentRequest) normalize() error {
+	if r.ID == "" {
+		return fmt.Errorf("id is required (an experiment ID or \"all\")")
+	}
+	if r.ID != "all" {
+		if _, err := experiments.ByID(r.ID); err != nil {
+			return err
+		}
+	}
+	if r.Workers < 0 {
+		r.Workers = 0
+	}
+	return nil
+}
+
+func (r ExperimentRequest) key() string {
+	r.Workers = 0
+	return hashJSON("experiment", r)
+}
+
+// hashJSON content-addresses a canonicalized request. encoding/json
+// marshals struct fields in declaration order and map keys sorted, so
+// equal canonical requests hash equal.
+func hashJSON(kind string, v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Requests are plain structs of scalars; marshal cannot fail.
+		panic(err)
+	}
+	sum := sha256.Sum256(append([]byte(kind+"\x00"), b...))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,374 @@
+// Package serve exposes the simulator over HTTP/JSON: POST /v1/run
+// executes one workload, POST /v1/experiment regenerates a paper table
+// or figure, GET /healthz and GET /metrics cover operations.
+//
+// Three properties shape the implementation:
+//
+//   - Determinism makes results content-addressable. Every simulation is
+//     a pure function of its canonicalized request (fixed seeds, fixed
+//     shard merge order — DESIGN.md §7), so responses live in an LRU
+//     cache keyed by a hash of the request and a hit returns the exact
+//     bytes of the run that populated it. Scheduling knobs (Workers)
+//     are excluded from the key.
+//   - Identical concurrent requests coalesce onto one flight: exactly
+//     one simulation runs, every waiter gets its bytes. A flight's run
+//     context derives from the server's base context and is cancelled
+//     when the last waiter disconnects — or when the server shuts down —
+//     stopping the simulation at its next workgroup boundary.
+//   - Admission is bounded: at most Concurrency simulations run at once
+//     and at most MaxQueue flights wait for a slot; beyond that the
+//     server sheds load with 503 instead of queueing without bound.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"intrawarp/internal/compaction"
+	"intrawarp/internal/experiments"
+	"intrawarp/internal/gpu"
+	"intrawarp/internal/workloads"
+)
+
+// Config parameterizes a Server. Zero values select the defaults.
+type Config struct {
+	// CacheEntries bounds the result LRU (default 256).
+	CacheEntries int
+	// Concurrency bounds simultaneous simulations (default GOMAXPROCS).
+	Concurrency int
+	// MaxQueue bounds flights waiting for a run slot (default 64).
+	MaxQueue int
+	// Timeout is the per-request deadline; 0 means none. A request that
+	// times out stops waiting (504); the simulation itself stops only
+	// when its last waiter is gone.
+	Timeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// response is one computed API result: the exact bytes every current
+// and future client of this content address receives.
+type response struct {
+	status int
+	body   []byte
+}
+
+// Server is the simulator's HTTP front end. It implements http.Handler;
+// call Close on shutdown to cancel in-flight simulations.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	cache   *cache
+	flights *flightGroup
+	slots   chan struct{}
+	met     metrics
+
+	base   context.Context
+	cancel context.CancelFunc
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		cache:   newCache(cfg.CacheEntries),
+		flights: newFlightGroup(),
+		slots:   make(chan struct{}, cfg.Concurrency),
+		base:    base,
+		cancel:  cancel,
+	}
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close cancels the server's base context: every in-flight simulation
+// stops at its next cancellation point. Call after http.Server.Shutdown
+// has stopped accepting new requests.
+func (s *Server) Close() { s.cancel() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.render(w, s.cache.len())
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	type row struct {
+		Name      string `json:"name"`
+		Class     string `json:"class"`
+		Divergent bool   `json:"divergent"`
+		DefaultN  int    `json:"defaultSize"`
+	}
+	var rows []row
+	for _, spec := range workloads.All() {
+		rows = append(rows, row{spec.Name, spec.Class, spec.Divergent, spec.DefaultN})
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	type row struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+	}
+	var rows []row
+	for _, e := range experiments.All() {
+		rows = append(rows, row{e.ID, e.Title})
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := req.normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.serveCached(w, r, req.key(), func(ctx context.Context) (*response, error) {
+		return s.executeRun(ctx, &req)
+	})
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	var req ExperimentRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := req.normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.serveCached(w, r, req.key(), func(ctx context.Context) (*response, error) {
+		return s.executeExperiment(ctx, &req)
+	})
+}
+
+// serveCached is the common request path: result cache, then flight
+// coalescing, then bounded admission into a run slot.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
+	fn func(context.Context) (*response, error)) {
+	s.met.requests.Add(1)
+	if body, ok := s.cache.get(key); ok {
+		s.met.cacheHits.Add(1)
+		writeResult(w, &response{status: http.StatusOK, body: body}, "hit")
+		return
+	}
+	s.met.cacheMiss.Add(1)
+
+	reqCtx := r.Context()
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		reqCtx, cancel = context.WithTimeout(reqCtx, s.cfg.Timeout)
+		defer cancel()
+	}
+
+	f, leader, runCtx := s.flights.join(key, s.base)
+	if leader {
+		go s.flights.run(key, f, func() (*response, error) {
+			// Re-check under the flight: a request that missed the cache
+			// just before an identical flight retired lands here after
+			// that flight already published its result.
+			if body, ok := s.cache.get(key); ok {
+				return &response{status: http.StatusOK, body: body}, nil
+			}
+			resp, err := s.admitted(runCtx, fn)
+			if err == nil && resp.status == http.StatusOK {
+				s.cache.add(key, resp.body)
+			}
+			return resp, err
+		})
+	} else {
+		s.met.coalesced.Add(1)
+	}
+
+	select {
+	case <-f.done:
+		s.flights.leave(key, f)
+		if f.err != nil {
+			// Cancellation reached the flight only because every waiter
+			// (or the whole server) went away; any waiter still here
+			// raced the shutdown and gets a retryable 503.
+			status := http.StatusInternalServerError
+			if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, f.err)
+			return
+		}
+		writeResult(w, f.result, "miss")
+	case <-reqCtx.Done():
+		s.flights.leave(key, f)
+		s.met.cancelled.Add(1)
+		writeError(w, http.StatusGatewayTimeout, reqCtx.Err())
+	}
+}
+
+// errQueueFull sheds load once MaxQueue flights are already waiting.
+var errQueueFull = errors.New("admission queue full, retry later")
+
+// admitted runs fn under a concurrency slot, rejecting when the wait
+// queue is over budget.
+func (s *Server) admitted(ctx context.Context, fn func(context.Context) (*response, error)) (*response, error) {
+	if depth := s.met.queueDepth.Add(1); depth > int64(s.cfg.MaxQueue) {
+		s.met.queueDepth.Add(-1)
+		s.met.rejected.Add(1)
+		return &response{status: http.StatusServiceUnavailable,
+			body: errorBody(errQueueFull)}, nil
+	}
+	select {
+	case s.slots <- struct{}{}:
+		s.met.queueDepth.Add(-1)
+	case <-ctx.Done():
+		s.met.queueDepth.Add(-1)
+		s.met.cancelled.Add(1)
+		return nil, ctx.Err()
+	}
+	s.met.inFlight.Add(1)
+	defer func() {
+		s.met.inFlight.Add(-1)
+		<-s.slots
+	}()
+	s.met.simRuns.Add(1)
+	resp, err := fn(ctx)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.met.cancelled.Add(1)
+		} else {
+			s.met.errors.Add(1)
+		}
+	}
+	return resp, err
+}
+
+// executeRun performs the simulation a normalized RunRequest describes.
+func (s *Server) executeRun(ctx context.Context, req *RunRequest) (*response, error) {
+	spec, err := workloads.ByName(req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := compaction.ParsePolicy(req.Policy)
+	if err != nil {
+		return nil, err
+	}
+	cfg := gpu.DefaultConfig().WithPolicy(policy)
+	cfg.Mem.DCLinesPerCycle = req.DCLinesPerCycle
+	cfg.Mem.PerfectL3 = req.PerfectL3
+	cfg.Workers = req.Workers
+	run, err := workloads.ExecuteCtx(ctx, gpu.New(cfg), spec, workloads.ExecOptions{
+		Size:       req.Size,
+		Timed:      req.Timed,
+		SkipVerify: req.SkipVerify,
+	})
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(struct {
+		Request *RunRequest `json:"request"`
+		Report  any         `json:"report"`
+	}{req, run.Report()})
+	if err != nil {
+		return nil, err
+	}
+	return &response{status: http.StatusOK, body: body}, nil
+}
+
+// executeExperiment renders one experiment (or the whole suite).
+func (s *Server) executeExperiment(ctx context.Context, req *ExperimentRequest) (*response, error) {
+	var buf bytes.Buffer
+	ectx := &experiments.Context{Out: &buf, Quick: req.Quick, Workers: req.Workers, Ctx: ctx}
+	var err error
+	if req.ID == "all" {
+		err = experiments.RunAll(ectx)
+	} else {
+		err = experiments.Run(req.ID, ectx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(struct {
+		Request *ExperimentRequest `json:"request"`
+		Output  string             `json:"output"`
+	}{req, buf.String()})
+	if err != nil {
+		return nil, err
+	}
+	return &response{status: http.StatusOK, body: body}, nil
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeResult(w http.ResponseWriter, resp *response, cacheState string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cacheState)
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
+}
+
+func errorBody(err error) []byte {
+	b, _ := json.Marshal(map[string]string{"error": err.Error()})
+	return b
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(errorBody(err))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}

@@ -9,6 +9,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -119,6 +120,14 @@ type ExecOptions struct {
 // Launch statistics are merged; timed quantities accumulate across
 // launches.
 func ExecuteOpts(g *gpu.GPU, spec *Spec, opts ExecOptions) (*stats.Run, error) {
+	return ExecuteCtx(context.Background(), g, spec, opts)
+}
+
+// ExecuteCtx is ExecuteOpts with cancellation: ctx is threaded into
+// every launch (where the engines check it at workgroup granularity)
+// and checked between launches of multi-launch workloads. A cancelled
+// execution returns ctx.Err() and never partial statistics.
+func ExecuteCtx(ctx context.Context, g *gpu.GPU, spec *Spec, opts ExecOptions) (*stats.Run, error) {
 	n := opts.Size
 	if n <= 0 {
 		n = spec.DefaultN
@@ -129,15 +138,18 @@ func ExecuteOpts(g *gpu.GPU, spec *Spec, opts ExecOptions) (*stats.Run, error) {
 	}
 	var agg *stats.Run
 	for iter := 0; ; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ls := inst.Next(iter)
 		if ls == nil {
 			break
 		}
 		var r *stats.Run
 		if opts.Timed {
-			r, err = g.Run(*ls)
+			r, err = g.RunCtx(ctx, *ls)
 		} else {
-			r, err = g.RunFunctional(*ls, nil)
+			r, err = g.RunFunctionalCtx(ctx, *ls, nil)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("workloads: %s launch %d: %w", spec.Name, iter, err)

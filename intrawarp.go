@@ -40,6 +40,7 @@
 package intrawarp
 
 import (
+	"context"
 	"io"
 	"os"
 
@@ -187,6 +188,13 @@ func WorkloadByName(name string) (*Workload, error) { return workloads.ByName(na
 // the workload's default problem size; refine with WithSize, WithTimed,
 // WithWorkers, and WithoutVerify.
 func RunWorkload(g *GPU, w *Workload, opts ...RunOption) (*Run, error) {
+	return RunWorkloadCtx(context.Background(), g, w, opts...)
+}
+
+// RunWorkloadCtx is RunWorkload with cancellation: the run stops between
+// workgroups (functional model) or within a bounded cycle window (timed
+// model) once ctx is done, returning ctx.Err() instead of partial stats.
+func RunWorkloadCtx(ctx context.Context, g *GPU, w *Workload, opts ...RunOption) (*Run, error) {
 	var s runSettings
 	for _, o := range opts {
 		if err := o.applyRun(&s); err != nil {
@@ -200,7 +208,7 @@ func RunWorkload(g *GPU, w *Workload, opts ...RunOption) (*Run, error) {
 		clone.Cfg.Workers = s.workers
 		g = &clone
 	}
-	return workloads.ExecuteOpts(g, w, s.exec)
+	return workloads.ExecuteCtx(ctx, g, w, s.exec)
 }
 
 // RunWorkloadN executes a benchmark on g (timed when timed is true,
@@ -234,22 +242,37 @@ func newExperimentContext(opts []ExperimentOption) (*experiments.Context, error)
 // goes to standard output at full problem sizes; refine with WithOutput,
 // WithQuick, and WithWorkers.
 func RunExperiment(id string, opts ...ExperimentOption) error {
-	ctx, err := newExperimentContext(opts)
+	return RunExperimentCtx(context.Background(), id, opts...)
+}
+
+// RunExperimentCtx is RunExperiment with cancellation: in-flight
+// simulation stops at the next workgroup boundary once ctx is done.
+func RunExperimentCtx(ctx context.Context, id string, opts ...ExperimentOption) error {
+	ectx, err := newExperimentContext(opts)
 	if err != nil {
 		return err
 	}
-	return experiments.Run(id, ctx)
+	ectx.Ctx = ctx
+	return experiments.Run(id, ectx)
 }
 
 // RunAllExperiments regenerates every registered table and figure in ID
 // order. Independent experiments execute concurrently; the combined
 // report is rendered in ID order regardless of worker count.
 func RunAllExperiments(opts ...ExperimentOption) error {
-	ctx, err := newExperimentContext(opts)
+	return RunAllExperimentsCtx(context.Background(), opts...)
+}
+
+// RunAllExperimentsCtx is RunAllExperiments with cancellation. Every
+// experiment's rendering is flushed (completed ones in full, failed ones
+// with a FAILED line) and the combined error joins all failures.
+func RunAllExperimentsCtx(ctx context.Context, opts ...ExperimentOption) error {
+	ectx, err := newExperimentContext(opts)
 	if err != nil {
 		return err
 	}
-	return experiments.RunAll(ctx)
+	ectx.Ctx = ctx
+	return experiments.RunAll(ectx)
 }
 
 // RunExperimentTo regenerates one table or figure, writing its rendering
