@@ -2,7 +2,9 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench
+# bench knobs: BENCHTIME=1x gives a smoke pass, 30x a stable trajectory.
+BENCHTIME ?= 1x
+BENCHOUT  ?= BENCH_timed.json
 
 build:
 	$(GO) build ./...
@@ -22,7 +24,12 @@ race:
 	$(GO) test -race ./...
 	$(GO) test -race -tags statsguard ./internal/stats/ ./internal/gpu/ ./internal/workloads/ ./internal/par/ ./internal/serve/
 
+.PHONY: build vet test race check bench
+
 check: build vet test race
 
+# bench runs every benchmark with allocation reporting and converts the
+# output into $(BENCHOUT) (ns/op, B/op, allocs/op per benchmark) for the
+# bench-trajectory artifact uploaded by CI's bench-smoke job.
 bench:
-	$(GO) test -bench . -benchtime 1x ./...
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -o $(BENCHOUT)

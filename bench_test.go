@@ -18,6 +18,7 @@ import (
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	ctx := &experiments.Context{Out: io.Discard, Quick: true}
 	for i := 0; i < b.N; i++ {
 		if err := experiments.Run(id, ctx); err != nil {
@@ -84,6 +85,7 @@ func BenchmarkStalls(b *testing.B) { benchExperiment(b, "stalls") }
 
 // BenchmarkSCCSchedule measures the Fig. 6 control algorithm itself.
 func BenchmarkSCCSchedule(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ComputeSchedule(Mask(uint32(i)&0xFFFF)|1, 16, 4)
 	}
@@ -91,6 +93,7 @@ func BenchmarkSCCSchedule(b *testing.B) {
 
 // BenchmarkPolicyCycles measures the per-instruction cycle-cost model.
 func BenchmarkPolicyCycles(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = Cycles(SCC, Mask(uint32(i)&0xFFFF), 16, 4)
 	}
@@ -103,8 +106,30 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g := gpu.New(gpu.DefaultConfig().WithPolicy(SCC))
+		if _, err := workloads.Execute(g, w, 128, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimedSIMD16Divergent measures the timed simulation of a
+// divergent SIMD16 workload with simulator construction excluded from the
+// timer, so ns/op and allocs/op reflect the simulation itself (workload
+// setup plus the cycle loop) rather than GPU construction.
+func BenchmarkTimedSIMD16Divergent(b *testing.B) {
+	w, err := workloads.ByName("particlefilter")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := gpu.New(gpu.DefaultConfig().WithPolicy(SCC))
+		b.StartTimer()
 		if _, err := workloads.Execute(g, w, 128, true); err != nil {
 			b.Fatal(err)
 		}
@@ -117,6 +142,7 @@ func BenchmarkFunctionalThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g := gpu.New(gpu.DefaultConfig())
 		if _, err := workloads.Execute(g, w, 256, false); err != nil {
@@ -144,6 +170,7 @@ func BenchmarkParallelSweep(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if err := sweep(workers); err != nil {
 					b.Fatal(err)
@@ -162,6 +189,7 @@ func BenchmarkParallelFunctional(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				g := gpu.New(gpu.DefaultConfig().WithWorkers(workers))
 				if _, err := workloads.ExecuteOpts(g, w, workloads.ExecOptions{Size: 8192}); err != nil {
@@ -176,6 +204,7 @@ func BenchmarkParallelFunctional(b *testing.B) {
 func BenchmarkTraceAnalyze(b *testing.B) {
 	p := trace.SynthByName("bulletphysics")
 	recs := p.Generate()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		trace.Analyze(p.Name, &trace.SliceSource{Records: recs})

@@ -1,0 +1,115 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// benchmark trajectory file. It reads the benchmark text on stdin, echoes
+// it unchanged to stdout (so it composes as a pipe filter in `make
+// bench`), and writes one JSON document with a record per benchmark:
+// name, iterations, ns/op, B/op, and allocs/op (the latter two require
+// -benchmem or b.ReportAllocs).
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson -o BENCH_timed.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name     string  `json:"name"`
+	Package  string  `json:"package,omitempty"`
+	Iters    int64   `json:"iters"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   int64   `json:"bytes_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	GoOS    string   `json:"goos,omitempty"`
+	GoArch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// parseLine decodes one `BenchmarkX-8  30  5142143 ns/op  256 B/op  21 allocs/op`
+// line; ok is false for non-benchmark lines.
+func parseLine(line, pkg string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Package: pkg, Iters: iters}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsOp = int64(v)
+		}
+	}
+	return r, r.NsPerOp > 0
+}
+
+func main() {
+	out := flag.String("o", "BENCH_timed.json", "output JSON file")
+	flag.Parse()
+
+	rep := Report{}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	w := bufio.NewWriter(os.Stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(w, line)
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "goos: "):
+			rep.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			if r, ok := parseLine(line, pkg); ok {
+				rep.Results = append(rep.Results, r)
+			}
+		}
+	}
+	w.Flush()
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rep.Results), *out)
+}

@@ -7,6 +7,12 @@
 //	simd-bench -all               run everything
 //	simd-bench -all -quick        reduced problem sizes
 //	simd-bench -all -workers 4    bound the worker pool
+//
+// Profiling (inspect with `go tool pprof` / `go tool trace`):
+//
+//	simd-bench -exp fig12 -cpuprofile cpu.out
+//	simd-bench -exp fig12 -memprofile mem.out
+//	simd-bench -exp fig12 -trace trace.out
 package main
 
 import (
@@ -16,26 +22,81 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"syscall"
 
 	"intrawarp"
 )
 
-func main() {
+// main delegates to run so profile-flushing defers execute before the
+// process exits with run's status code.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		list    = flag.Bool("list", false, "list experiments and exit")
-		exp     = flag.String("exp", "", "experiment ID to run")
-		all     = flag.Bool("all", false, "run every experiment")
-		quick   = flag.Bool("quick", false, "reduced problem sizes")
-		workers = flag.Int("workers", 0, "worker pool size for experiment cells (0 = GOMAXPROCS, 1 = serial)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		exp        = flag.String("exp", "", "experiment ID to run")
+		all        = flag.Bool("all", false, "run every experiment")
+		quick      = flag.Bool("quick", false, "reduced problem sizes")
+		workers    = flag.Int("workers", 0, "worker pool size for experiment cells (0 = GOMAXPROCS, 1 = serial)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simd-bench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "simd-bench:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simd-bench:", err)
+			return 1
+		}
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, "simd-bench:", err)
+			return 1
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "simd-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the retained heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "simd-bench:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range intrawarp.Experiments() {
 			fmt.Printf("%-18s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 	opts := []intrawarp.ExperimentOption{
 		intrawarp.WithOutput(os.Stdout),
@@ -54,13 +115,14 @@ func main() {
 		err = intrawarp.RunExperimentCtx(ctx, *exp, opts...)
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simd-bench:", err)
 		if errors.Is(err, context.Canceled) {
-			os.Exit(130)
+			return 130
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

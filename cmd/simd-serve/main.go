@@ -3,7 +3,11 @@
 // Usage:
 //
 //	simd-serve [-addr :8077] [-cache 256] [-concurrency 0] [-queue 64]
-//	           [-timeout 0]
+//	           [-timeout 0] [-debug addr]
+//
+// -debug serves net/http/pprof on a second, operator-only listener, e.g.
+// -debug localhost:6060; the public API mux never exposes profiling
+// endpoints.
 //
 // Endpoints:
 //
@@ -26,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,6 +39,18 @@ import (
 	"intrawarp/internal/serve"
 )
 
+// debugMux builds the operator-only handler: the standard pprof surface
+// on its usual /debug/pprof/ paths.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 func main() {
 	var (
 		addr    = flag.String("addr", ":8077", "listen address")
@@ -41,8 +58,18 @@ func main() {
 		conc    = flag.Int("concurrency", 0, "max simultaneous simulations (0 = GOMAXPROCS)")
 		queue   = flag.Int("queue", 64, "max queued simulations before shedding load")
 		timeout = flag.Duration("timeout", 0, "per-request deadline (0 = none)")
+		debug   = flag.String("debug", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
+
+	if *debug != "" {
+		go func() {
+			log.Printf("simd-serve debug listening on %s (pprof)", *debug)
+			if err := http.ListenAndServe(*debug, debugMux()); err != nil {
+				log.Printf("simd-serve: debug listener: %v", err)
+			}
+		}()
+	}
 
 	api := serve.New(serve.Config{
 		CacheEntries: *entries,

@@ -1,0 +1,113 @@
+package compaction
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"intrawarp/internal/mask"
+)
+
+// Schedule interning: an SCC schedule depends only on (mask, width, group),
+// and the timed engine asks for the same few hundred combinations millions
+// of times per run, so ScheduleFor memoizes construction and returns a
+// shared immutable *Schedule. Two tiers:
+//
+//   - The common 32-bit-datatype cases (group 4 at SIMD8/SIMD16) are
+//     direct-indexed: a lazily filled table with one atomic pointer per
+//     mask value, so a hot lookup is a single load.
+//   - Everything else (f64/f16 group sizes, SIMD4/SIMD32) goes through a
+//     sharded hash map under RWMutexes. Shard population is bounded; past
+//     the bound ScheduleFor degrades to plain construction rather than
+//     growing without limit (a SIMD32 stream can name 2^32 masks).
+//
+// Both tiers fill on demand with CAS/double-checked locking: racing
+// goroutines may build the same schedule twice, but exactly one pointer is
+// published and returned thereafter (interning), so pointer identity is
+// stable and the cached value can never be observed partially written.
+
+const (
+	directGroup = 4
+	// shardCount spreads fallback lookups; 16 shards keep contention
+	// negligible at the experiment engine's worker counts.
+	shardCount = 16
+	// maxShardEntries bounds each fallback shard. 1<<15 entries × 16
+	// shards comfortably covers every mask a SIMD16 f64/f16 run can
+	// produce while capping worst-case SIMD32 growth at a few hundred MB.
+	maxShardEntries = 1 << 15
+)
+
+var (
+	simd8Direct  [1 << 8]atomic.Pointer[Schedule]
+	simd16Direct [1 << 16]atomic.Pointer[Schedule]
+)
+
+type scheduleShard struct {
+	mu sync.RWMutex
+	m  map[uint64]*Schedule
+}
+
+var schedShards [shardCount]scheduleShard
+
+// shardKey packs (mask, width, group) into one map key.
+func shardKey(m mask.Mask, width, group int) uint64 {
+	return uint64(uint32(m)) | uint64(uint16(width))<<32 | uint64(uint16(group))<<48
+}
+
+// ScheduleFor returns the interned SCC schedule for the mask: equal
+// (mask, width, group) triples yield the same immutable *Schedule, built
+// at most a handful of times process-wide. The returned schedule is
+// bit-identical to ComputeSchedule's output (exhaustively tested for all
+// SIMD8/SIMD16 masks) and must not be modified.
+func ScheduleFor(m mask.Mask, width, group int) *Schedule {
+	m = m.Trunc(width)
+	if group == directGroup {
+		switch width {
+		case 8:
+			return directLookup(&simd8Direct[m], m, width, group)
+		case 16:
+			return directLookup(&simd16Direct[m], m, width, group)
+		}
+	}
+	return schedShards[shardIndex(m, width, group)].lookup(m, width, group)
+}
+
+func directLookup(slot *atomic.Pointer[Schedule], m mask.Mask, width, group int) *Schedule {
+	if s := slot.Load(); s != nil {
+		return s
+	}
+	s := ComputeSchedule(m, width, group)
+	if slot.CompareAndSwap(nil, s) {
+		return s
+	}
+	return slot.Load() // a racing fill won; intern its pointer
+}
+
+// shardIndex hashes the key with a Fibonacci multiplier so adjacent masks
+// spread across shards.
+func shardIndex(m mask.Mask, width, group int) int {
+	return int((shardKey(m, width, group) * 0x9E3779B97F4A7C15) >> 60)
+}
+
+func (sh *scheduleShard) lookup(m mask.Mask, width, group int) *Schedule {
+	key := shardKey(m, width, group)
+	sh.mu.RLock()
+	s := sh.m[key]
+	sh.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	s = ComputeSchedule(m, width, group)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cached, ok := sh.m[key]; ok {
+		return cached // a racing fill won; intern its pointer
+	}
+	if sh.m == nil {
+		sh.m = make(map[uint64]*Schedule)
+	}
+	if len(sh.m) >= maxShardEntries {
+		return s // shard full: serve uncached rather than grow unboundedly
+	}
+	sh.m[key] = s
+	return s
+}

@@ -157,6 +157,32 @@ func (p Policy) GroupFetches(m mask.Mask, width, group int) []bool {
 	return out
 }
 
+// GroupFetchCounts returns how many aligned groups require an operand
+// fetch under the policy and how many are suppressed — the tallies of
+// GroupFetches without materializing the per-group slice. The timed
+// engine's per-instruction energy accounting uses this closed form;
+// equality with GroupFetches is property-tested.
+func (p Policy) GroupFetchCounts(m mask.Mask, width, group int) (fetched, saved int) {
+	n := mask.QuadCount(width, group)
+	switch p {
+	case BCC:
+		fetched = m.ActiveQuads(width, group)
+		return fetched, n - fetched
+	case IvyBridge:
+		if width == ivbWidth && n >= 2 && (m.UpperHalfOff(width) || m.LowerHalfOff(width)) {
+			if m.UpperHalfOff(width) {
+				fetched = n / 2
+			} else {
+				fetched = n - n/2
+			}
+			return fetched, n - fetched
+		}
+		return n, 0
+	default:
+		return n, 0
+	}
+}
+
 // Reduction computes the fractional EU-cycle reduction of policy p relative
 // to a reference cycle count, expressed in [0,1]. It is a convenience for
 // the experiment harness.

@@ -203,6 +203,43 @@ func TestCostAll(t *testing.T) {
 	}
 }
 
+// Property: GroupFetchCounts matches a tally of the GroupFetches slice
+// for every policy over random masks, widths, and groups.
+func TestGroupFetchCountsMatchesGroupFetches(t *testing.T) {
+	f := func(raw uint32, wsel, gsel, psel uint8) bool {
+		widths := []int{4, 8, 16, 32}
+		groups := []int{2, 4, 8}
+		w := widths[int(wsel)%len(widths)]
+		g := groups[int(gsel)%len(groups)]
+		p := Policies[int(psel)%NumPolicies]
+		m := mask.Mask(raw)
+		fetched, saved := p.GroupFetchCounts(m, w, g)
+		wantF, wantS := 0, 0
+		for _, f := range p.GroupFetches(m, w, g) {
+			if f {
+				wantF++
+			} else {
+				wantS++
+			}
+		}
+		return fetched == wantF && saved == wantS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupFetchCountsZeroAlloc(t *testing.T) {
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, p := range Policies {
+			p.GroupFetchCounts(0xAAAA, 16, 4)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("GroupFetchCounts allocates %.1f times per run, want 0", allocs)
+	}
+}
+
 func TestGroupFetches(t *testing.T) {
 	// BCC skips operand fetch for empty quads.
 	got := BCC.GroupFetches(0xF0F0, 16, 4)

@@ -31,6 +31,11 @@ func (c CycleSetting) Swizzled(n int) bool {
 // Schedule is a complete SCC execution plan for one instruction: the
 // sequence of per-cycle crossbar settings computed by the control logic of
 // paper Fig. 6.
+//
+// Schedules returned by ScheduleFor are shared and immutable; callers must
+// not modify Cycles. Schedules reused via ComputeScheduleInto own their
+// backing storage and are valid until the next ComputeScheduleInto on the
+// same value.
 type Schedule struct {
 	Width  int
 	Group  int
@@ -40,7 +45,22 @@ type Schedule struct {
 	// cycle count, so empty-quad skipping suffices and no lane is swizzled
 	// ("skip empty quads, BCC-like. Done" in the paper's pseudo-code).
 	BCCOnly bool
+
+	// swizzles is the crossbar-slot count, tallied during construction so
+	// the timed engine's per-instruction energy accounting is a field read
+	// instead of a cycle walk. Swizzles() exposes it; SwizzleCount()
+	// recomputes it from the cycles for cross-checking.
+	swizzles int
+
+	// arena is the flat backing store the Cycles slices point into; it is
+	// reused across ComputeScheduleInto calls so steady-state schedule
+	// construction performs no heap allocation.
+	arena []LaneAssign
 }
+
+// Swizzles returns the number of crossbar-routed (cycle, lane) slots,
+// precomputed at construction. It always equals SwizzleCount().
+func (s *Schedule) Swizzles() int { return s.swizzles }
 
 // SwizzleCount returns the number of (cycle, lane) slots whose operand is
 // routed through the crossbar from a different lane position.
@@ -62,9 +82,13 @@ func (s *Schedule) SwizzleCount() int {
 // construction the source assignment itself — the inverse permutation of
 // the operand swizzle.
 func (s *Schedule) Unswizzle(c int) []LaneAssign {
-	out := make([]LaneAssign, len(s.Cycles[c]))
-	copy(out, s.Cycles[c])
-	return out
+	return s.UnswizzleInto(nil, c)
+}
+
+// UnswizzleInto is Unswizzle writing into dst's backing array (grown as
+// needed), so repeated writeback-permutation queries are allocation-free.
+func (s *Schedule) UnswizzleInto(dst []LaneAssign, c int) []LaneAssign {
+	return append(dst[:0], s.Cycles[c]...)
 }
 
 // String renders the schedule for debugging, one line per cycle.
@@ -133,24 +157,68 @@ func SwizzleCount(m mask.Mask, width, group int) int {
 // receive them. Unswizzled assignments are preferred, minimizing crossbar
 // activity.
 func ComputeSchedule(m mask.Mask, width, group int) *Schedule {
+	s := new(Schedule)
+	ComputeScheduleInto(s, m, width, group)
+	return s
+}
+
+// maxLanes bounds the scratch arrays of ComputeScheduleInto. A Mask holds
+// 32 lanes, so no instruction has more than 32 execution groups or more
+// than 32 lanes per group.
+const maxLanes = 32
+
+// ComputeScheduleInto is ComputeSchedule writing into s, reusing its
+// backing storage: steady-state schedule construction performs no heap
+// allocation. The algorithm's working state (per-lane quad queues,
+// surplus counters) lives on the stack. group must be at most 32.
+func ComputeScheduleInto(s *Schedule, m mask.Mask, width, group int) {
+	if group < 1 || group > maxLanes {
+		panic(fmt.Sprintf("compaction: group size %d out of range [1,%d]", group, maxLanes))
+	}
 	m = m.Trunc(width)
-	s := &Schedule{Width: width, Group: group, Mask: m}
 	quads := mask.QuadCount(width, group)
 	opt := m.OptimalCycles(width, group)
-
-	if opt == 0 {
+	nCycles := opt
+	if nCycles == 0 {
 		// Empty mask: one dead issue cycle, all lanes off.
-		s.Cycles = []CycleSetting{make(CycleSetting, group)}
-		return s
+		nCycles = 1
 	}
 
-	// Phase 1 of Fig. 6: per-lane queues of active quads.
-	laneQ := make([][]int8, group)
+	s.Width, s.Group, s.Mask = width, group, m
+	s.BCCOnly, s.swizzles = false, 0
+	need := nCycles * group
+	if cap(s.arena) < need {
+		s.arena = make([]LaneAssign, need)
+	} else {
+		s.arena = s.arena[:need]
+		clear(s.arena)
+	}
+	if cap(s.Cycles) < nCycles {
+		s.Cycles = make([]CycleSetting, nCycles)
+	} else {
+		s.Cycles = s.Cycles[:nCycles]
+	}
+	for c := 0; c < nCycles; c++ {
+		s.Cycles[c] = s.arena[c*group : (c+1)*group]
+	}
+	if opt == 0 {
+		return
+	}
+
+	// Phase 1 of Fig. 6: per-lane queues of active quads. A lane's queue
+	// holds at most one entry per active quad, and a 32-lane mask has at
+	// most 32 of those, so fixed-size stack arrays suffice.
+	var laneQ [maxLanes][maxLanes]int8
+	var qLen, qHead [maxLanes]uint8
 	for q := 0; q < quads; q++ {
 		qm := m.Quad(q, group)
+		if qm == 0 {
+			continue
+		}
 		for n := 0; n < group; n++ {
 			if qm.Lane(n) {
-				laneQ[n] = append(laneQ[n], int8(q))
+				laneQ[n][qLen[n]] = int8(q)
+				qLen[n]++
 			}
 		}
 	}
@@ -159,61 +227,61 @@ func ComputeSchedule(m mask.Mask, width, group int) *Schedule {
 		// "skip empty quads, BCC-like. Done": emit active quads in order
 		// with no swizzling.
 		s.BCCOnly = true
+		c := 0
 		for q := 0; q < quads; q++ {
 			qm := m.Quad(q, group)
 			if qm == 0 {
 				continue
 			}
-			cyc := make(CycleSetting, group)
+			cyc := s.Cycles[c]
+			c++
 			for n := 0; n < group; n++ {
 				if qm.Lane(n) {
 					cyc[n] = LaneAssign{Enabled: true, Quad: int8(q), SrcLane: int8(n)}
 				}
 			}
-			s.Cycles = append(s.Cycles, cyc)
 		}
-		return s
+		return
 	}
 
 	// Initial setup: per-lane surplus relative to the optimal cycle count.
-	surplus := make([]int, group)
+	var surplus [maxLanes]int8
 	totSurplus := 0
 	for n := 0; n < group; n++ {
-		if len(laneQ[n]) > opt {
-			surplus[n] = len(laneQ[n]) - opt
-			totSurplus += surplus[n]
+		if int(qLen[n]) > opt {
+			surplus[n] = int8(int(qLen[n]) - opt)
+			totSurplus += int(surplus[n])
 		}
 	}
 
 	// Per-cycle scheduling: unswizzled dequeue when the home queue has
 	// work, otherwise fill from the lowest-indexed surplus lane.
 	for c := 0; c < opt; c++ {
-		cyc := make(CycleSetting, group)
+		cyc := s.Cycles[c]
 		for n := 0; n < group; n++ {
-			if len(laneQ[n]) > 0 {
-				cyc[n] = LaneAssign{Enabled: true, Quad: laneQ[n][0], SrcLane: int8(n)}
-				laneQ[n] = laneQ[n][1:]
+			if qHead[n] < qLen[n] {
+				cyc[n] = LaneAssign{Enabled: true, Quad: laneQ[n][qHead[n]], SrcLane: int8(n)}
+				qHead[n]++
 				continue
 			}
 			if totSurplus > 0 {
 				mIdx := -1
 				for k := 0; k < group; k++ {
-					if surplus[k] > 0 && len(laneQ[k]) > 0 {
+					if surplus[k] > 0 && qHead[k] < qLen[k] {
 						mIdx = k
 						break
 					}
 				}
 				if mIdx >= 0 {
-					cyc[n] = LaneAssign{Enabled: true, Quad: laneQ[mIdx][0], SrcLane: int8(mIdx)}
-					laneQ[mIdx] = laneQ[mIdx][1:]
+					cyc[n] = LaneAssign{Enabled: true, Quad: laneQ[mIdx][qHead[mIdx]], SrcLane: int8(mIdx)}
+					qHead[mIdx]++
 					surplus[mIdx]--
 					totSurplus--
+					s.swizzles++
 					continue
 				}
 			}
 			// No surplus: lane stays unfilled this cycle.
 		}
-		s.Cycles = append(s.Cycles, cyc)
 	}
-	return s
 }

@@ -245,13 +245,36 @@ func TestScheduleString(t *testing.T) {
 	}
 }
 
+// Property: UnswizzleInto reuses dst and returns the same permutation as
+// Unswizzle.
+func TestUnswizzleIntoMatchesUnswizzle(t *testing.T) {
+	var buf []LaneAssign
+	for _, raw := range []uint32{0xAAAA, 0x137F, 0x0001, 0xFFFF, 0} {
+		s := ComputeSchedule(mask.Mask(raw), 16, 4)
+		for c := range s.Cycles {
+			want := s.Unswizzle(c)
+			buf = s.UnswizzleInto(buf, c)
+			if len(buf) != len(want) {
+				t.Fatalf("mask %#x cycle %d: len %d, want %d", raw, c, len(buf), len(want))
+			}
+			for i := range want {
+				if buf[i] != want[i] {
+					t.Fatalf("mask %#x cycle %d lane %d: %+v, want %+v", raw, c, i, buf[i], want[i])
+				}
+			}
+		}
+	}
+}
+
 func BenchmarkComputeScheduleDense(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ComputeSchedule(0xFFFF, 16, 4)
 	}
 }
 
 func BenchmarkComputeScheduleScattered(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ComputeSchedule(0xAAAA, 16, 4)
 	}

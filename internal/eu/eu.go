@@ -87,6 +87,7 @@ type EU struct {
 	sb          [][]span  // per-thread pending GRF writes
 	flagBusy    [][2]int  // per-thread pending flag writers
 	wb          []wbEvent // scheduled writebacks (small; scanned linearly)
+	wbMin       int64     // earliest due writeback (sentinel when wb empty)
 	outstanding []int     // per-thread in-flight memory loads
 
 	lastIssue []int64 // per-thread cycle of last issue (age-based arbiter)
@@ -96,6 +97,10 @@ type EU struct {
 	order   []int // scratch for arbitration ordering
 	Busy    int64 // execution-pipe occupancy cycles (the paper's "EU cycles")
 
+	// compFree recycles SEND completion records so the global-memory path
+	// allocates no closure per request.
+	compFree []*sendComp
+
 	// Windows attributes every arbitration window to an outcome
 	// (stats.StallKind): issued, idle, or the dominant stall reason.
 	Windows [stats.NumStallKinds]int64
@@ -103,7 +108,7 @@ type EU struct {
 
 // New creates an EU with idle threads attached to the given memory system.
 func New(id int, cfg Config, mem *memory.System) *EU {
-	e := &EU{ID: id, Cfg: cfg, mem: mem}
+	e := &EU{ID: id, Cfg: cfg, mem: mem, wbMin: noWB}
 	e.Threads = make([]*Thread, cfg.ThreadsPerEU)
 	e.sb = make([][]span, cfg.ThreadsPerEU)
 	e.flagBusy = make([][2]int, cfg.ThreadsPerEU)
@@ -145,6 +150,10 @@ func readsFlag(in *isa.Instruction) (int, bool) {
 // this instruction's sources or destination, and any consumed or produced
 // flag has no in-flight writer.
 func (e *EU) depsClear(ti int, in *isa.Instruction) bool {
+	// Nothing pending for this thread: every check below passes.
+	if len(e.sb[ti]) == 0 && e.flagBusy[ti][0] == 0 && e.flagBusy[ti][1] == 0 {
+		return true
+	}
 	width := int(in.Width)
 	size := in.DType.Size()
 	check := func(o isa.Operand, sz int) bool {
@@ -190,8 +199,12 @@ func (e *EU) Tick(now int64) {
 	}
 	n := len(e.Threads)
 	// Arbitration order: rotating priority or oldest-first.
+	j := e.nextArb
 	for i := range e.order {
-		e.order[i] = (e.nextArb + i) % n
+		e.order[i] = j
+		if j++; j == n {
+			j = 0
+		}
 	}
 	if e.Cfg.Arbiter == ArbiterAgeBased {
 		// Insertion sort by last-issue cycle (n ≤ 8).
@@ -290,15 +303,7 @@ func (e *EU) issue(ti int, now int64) {
 		// quad fetches performed vs suppressed, and SCC crossbar traffic.
 		if th.Stats != nil {
 			th.Stats.LaneCycles += cycles * int64(res.Group)
-			fetches := e.Cfg.Policy.GroupFetches(res.Mask, res.Width, res.Group)
-			done, saved := 0, 0
-			for _, f := range fetches {
-				if f {
-					done++
-				} else {
-					saved++
-				}
-			}
+			done, saved := e.Cfg.Policy.GroupFetchCounts(res.Mask, res.Width, res.Group)
 			ops := in.NumSources()
 			if in.Dst.Kind == isa.RegGRF {
 				ops++
@@ -308,7 +313,7 @@ func (e *EU) issue(ti int, now int64) {
 				th.Stats.OperandFetchesSaved += int64(saved * ops)
 			}
 			if e.Cfg.Policy == compaction.SCC {
-				th.Stats.CrossbarOps += int64(compaction.SwizzleCount(res.Mask, res.Width, res.Group) * ops)
+				th.Stats.CrossbarOps += int64(compaction.ScheduleFor(res.Mask, res.Width, res.Group).Swizzles() * ops)
 			}
 		}
 
@@ -322,7 +327,7 @@ func (e *EU) issue(ti int, now int64) {
 			e.flagBusy[ti][in.Flag]++
 		}
 		if ev.hasDst || ev.flag >= 0 {
-			e.wb = append(e.wb, ev)
+			e.addWB(ev)
 		}
 
 	case isa.PipeSend:
@@ -339,29 +344,56 @@ func (e *EU) issue(ti int, now int64) {
 		default:
 			// Global memory: enqueue the coalesced lines; the destination
 			// stays reserved until the data cluster returns the data.
+			c := e.getComp(ti)
 			if s, ok := operandSpan(in.Dst, res.Width, 4); ok && in.Send.IsLoad() {
 				e.sb[ti] = append(e.sb[ti], s)
-				e.outstanding[ti]++
-				dst := s
-				e.mem.RequestLines(res.Lines, now, func(ready int64) {
-					e.clearSpan(ti, dst)
-					e.outstanding[ti]--
-				})
-			} else {
-				// Stores consume data-cluster bandwidth but retire
-				// immediately from the thread's perspective.
-				e.outstanding[ti]++
-				e.mem.RequestLines(res.Lines, now, func(int64) { e.outstanding[ti]-- })
+				c.dst, c.hasDst = s, true
 			}
+			// Stores consume data-cluster bandwidth but retire immediately
+			// from the thread's perspective (no destination to clear).
+			e.outstanding[ti]++
+			e.mem.RequestLines(res.Lines, now, c)
 		}
 	}
+}
+
+// sendComp is the completion record of one global-memory SEND. It
+// implements memory.Done; instances are recycled through EU.compFree so
+// steady-state SEND traffic allocates nothing.
+type sendComp struct {
+	e      *EU
+	ti     int
+	dst    span
+	hasDst bool
+}
+
+// LinesReady implements memory.Done: it releases the load destination (if
+// any), retires the outstanding request, and returns itself to the pool.
+func (c *sendComp) LinesReady(int64) {
+	if c.hasDst {
+		c.e.clearSpan(c.ti, c.dst)
+	}
+	c.e.outstanding[c.ti]--
+	c.hasDst = false
+	c.e.compFree = append(c.e.compFree, c)
+}
+
+func (e *EU) getComp(ti int) *sendComp {
+	if n := len(e.compFree); n > 0 {
+		c := e.compFree[n-1]
+		e.compFree[n-1] = nil
+		e.compFree = e.compFree[:n-1]
+		c.ti = ti
+		return c
+	}
+	return &sendComp{e: e, ti: ti}
 }
 
 // validateSCCSchedule rebuilds the crossbar schedule the SCC control
 // logic would emit for this instruction and asserts it is consistent with
 // the charged pipe occupancy (see Config.ValidateSCC).
 func validateSCCSchedule(res ExecResult, charged int64) {
-	s := compaction.ComputeSchedule(res.Mask, res.Width, res.Group)
+	s := compaction.ScheduleFor(res.Mask, res.Width, res.Group)
 	if int64(len(s.Cycles)) != charged {
 		panic(fmt.Sprintf("eu: SCC schedule/%s has %d cycles but %d were charged (mask %#x)",
 			res.Instr.Op, len(s.Cycles), charged, uint32(res.Mask)))
@@ -390,7 +422,17 @@ func validateSCCSchedule(res ExecResult, charged int64) {
 func (e *EU) scheduleSendWB(ti int, in *isa.Instruction, res ExecResult, ready int64) {
 	if s, ok := operandSpan(in.Dst, res.Width, 4); ok && in.Send.IsLoad() {
 		e.sb[ti] = append(e.sb[ti], s)
-		e.wb = append(e.wb, wbEvent{at: ready, thread: ti, dst: s, hasDst: true, flag: -1})
+		e.addWB(wbEvent{at: ready, thread: ti, dst: s, hasDst: true, flag: -1})
+	}
+}
+
+// noWB is the wbMin sentinel meaning no writeback is scheduled.
+const noWB = int64(^uint64(0) >> 1)
+
+func (e *EU) addWB(ev wbEvent) {
+	e.wb = append(e.wb, ev)
+	if ev.at < e.wbMin {
+		e.wbMin = ev.at
 	}
 }
 
@@ -406,9 +448,18 @@ func (e *EU) clearSpan(ti int, s span) {
 }
 
 func (e *EU) fireWritebacks(now int64) {
+	// The earliest-due watermark skips the scan on the many cycles where
+	// nothing can retire yet.
+	if now < e.wbMin {
+		return
+	}
+	min := noWB
 	for i := 0; i < len(e.wb); {
 		ev := e.wb[i]
 		if ev.at > now {
+			if ev.at < min {
+				min = ev.at
+			}
 			i++
 			continue
 		}
@@ -421,6 +472,7 @@ func (e *EU) fireWritebacks(now int64) {
 		e.wb[i] = e.wb[len(e.wb)-1]
 		e.wb = e.wb[:len(e.wb)-1]
 	}
+	e.wbMin = min
 }
 
 // Quiet reports whether the EU has no runnable work and nothing in flight:
@@ -439,12 +491,16 @@ func (e *EU) Quiet() bool {
 
 // FreeSlots returns the indices of idle or retired thread contexts
 // available for dispatch.
-func (e *EU) FreeSlots() []int {
-	var out []int
+func (e *EU) FreeSlots() []int { return e.FreeSlotsInto(nil) }
+
+// FreeSlotsInto appends the free thread-context indices to dst[:0] so the
+// per-cycle dispatch loop can reuse one scratch slice.
+func (e *EU) FreeSlotsInto(dst []int) []int {
+	dst = dst[:0]
 	for i, th := range e.Threads {
 		if (th.State == ThreadIdle || th.State == ThreadDone) && e.outstanding[i] == 0 {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
 }

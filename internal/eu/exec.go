@@ -3,6 +3,7 @@ package eu
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"intrawarp/internal/isa"
 	"intrawarp/internal/mask"
@@ -11,6 +12,10 @@ import (
 
 // ExecResult carries everything the timing model needs to know about one
 // functionally executed instruction.
+//
+// Lines and SLMOffsets alias per-thread scratch buffers and are valid only
+// until the thread's next Step; a consumer that retains them across steps
+// must copy (memory.System.RequestLines copies internally).
 type ExecResult struct {
 	Instr *isa.Instruction
 	Mask  mask.Mask // final execution mask
@@ -332,7 +337,8 @@ func (t *Thread) Step(mem *memory.Flat) ExecResult {
 		t.execSend(in, em, mem, &res)
 		t.IP++
 	case isa.OpCmp:
-		for _, lane := range em.Lanes() {
+		for v := uint32(em); v != 0; v &= v - 1 {
+			lane := bits.TrailingZeros32(v)
 			a := t.readElem(in.Src0, lane, in.DType)
 			b := t.readElem(in.Src1, lane, in.DType)
 			bit := uint32(1) << uint(lane)
@@ -345,20 +351,22 @@ func (t *Thread) Step(mem *memory.Flat) ExecResult {
 		t.IP++
 	case isa.OpSel:
 		flag := t.Flags[in.Flag]
-		for _, lane := range em.Lanes() {
-			var v uint64
+		for v := uint32(em); v != 0; v &= v - 1 {
+			lane := bits.TrailingZeros32(v)
+			var val uint64
 			if flag&(1<<uint(lane)) != 0 {
-				v = t.readElem(in.Src0, lane, in.DType)
+				val = t.readElem(in.Src0, lane, in.DType)
 			} else {
-				v = t.readElem(in.Src1, lane, in.DType)
+				val = t.readElem(in.Src1, lane, in.DType)
 			}
-			t.writeElem(in.Dst, lane, in.DType, v)
+			t.writeElem(in.Dst, lane, in.DType, val)
 		}
 		t.IP++
 	case isa.OpNop:
 		t.IP++
 	default:
-		for _, lane := range em.Lanes() {
+		for v := uint32(em); v != 0; v &= v - 1 {
+			lane := bits.TrailingZeros32(v)
 			a := t.readElem(in.Src0, lane, in.DType)
 			b := t.readElem(in.Src1, lane, in.DType)
 			c := t.readElem(in.Src2, lane, in.DType)
@@ -382,75 +390,85 @@ func (t *Thread) record(res ExecResult) {
 }
 
 // execSend performs the functional memory operation and computes the
-// coalesced line set (memory divergence) for timing.
+// coalesced line set (memory divergence) for timing. Address, line, and
+// SLM-offset staging reuses per-thread scratch buffers, so steady-state
+// SEND execution allocates nothing; the resulting res.Lines/res.SLMOffsets
+// alias that scratch (see ExecResult).
 func (t *Thread) execSend(in *isa.Instruction, em mask.Mask, mem *memory.Flat, res *ExecResult) {
-	lanes := em.Lanes()
+	addrs := t.addrBuf[:0]
+	slm := t.slmBuf[:0]
+	global := true
 	switch in.Send {
 	case isa.SendLoadGather:
-		addrs := make([]uint32, 0, len(lanes))
-		for _, lane := range lanes {
+		for v := uint32(em); v != 0; v &= v - 1 {
+			lane := bits.TrailingZeros32(v)
 			addr := uint32(t.readElem(in.Src0, lane, isa.U32))
 			addrs = append(addrs, addr)
 			t.writeElem(in.Dst, lane, isa.U32, uint64(mem.ReadU32(addr)))
 		}
-		res.Lines = memory.CoalesceLines(addrs)
 	case isa.SendStoreScatter:
-		addrs := make([]uint32, 0, len(lanes))
-		for _, lane := range lanes {
+		for v := uint32(em); v != 0; v &= v - 1 {
+			lane := bits.TrailingZeros32(v)
 			addr := uint32(t.readElem(in.Src0, lane, isa.U32))
 			addrs = append(addrs, addr)
 			mem.WriteU32(addr, uint32(t.readElem(in.Src1, lane, isa.U32)))
 		}
-		res.Lines = memory.CoalesceLines(addrs)
 	case isa.SendLoadBlock:
 		base := uint32(t.readElem(in.Src0, 0, isa.U32))
-		addrs := make([]uint32, 0, len(lanes))
-		for _, lane := range lanes {
+		for v := uint32(em); v != 0; v &= v - 1 {
+			lane := bits.TrailingZeros32(v)
 			addr := base + uint32(lane)*4
 			addrs = append(addrs, addr)
 			t.writeElem(in.Dst, lane, isa.U32, uint64(mem.ReadU32(addr)))
 		}
-		res.Lines = memory.CoalesceLines(addrs)
 	case isa.SendStoreBlock:
 		base := uint32(t.readElem(in.Src0, 0, isa.U32))
-		addrs := make([]uint32, 0, len(lanes))
-		for _, lane := range lanes {
+		for v := uint32(em); v != 0; v &= v - 1 {
+			lane := bits.TrailingZeros32(v)
 			addr := base + uint32(lane)*4
 			addrs = append(addrs, addr)
 			mem.WriteU32(addr, uint32(t.readElem(in.Src1, lane, isa.U32)))
 		}
-		res.Lines = memory.CoalesceLines(addrs)
 	case isa.SendLoadSLM:
-		for _, lane := range lanes {
+		global = false
+		for v := uint32(em); v != 0; v &= v - 1 {
+			lane := bits.TrailingZeros32(v)
 			off := uint32(t.readElem(in.Src0, lane, isa.U32))
-			res.SLMOffsets = append(res.SLMOffsets, off)
+			slm = append(slm, off)
 			t.writeElem(in.Dst, lane, isa.U32, uint64(t.SLM.ReadU32(off)))
 		}
 	case isa.SendStoreSLM:
-		for _, lane := range lanes {
+		global = false
+		for v := uint32(em); v != 0; v &= v - 1 {
+			lane := bits.TrailingZeros32(v)
 			off := uint32(t.readElem(in.Src0, lane, isa.U32))
-			res.SLMOffsets = append(res.SLMOffsets, off)
+			slm = append(slm, off)
 			t.SLM.WriteU32(off, uint32(t.readElem(in.Src1, lane, isa.U32)))
 		}
 	case isa.SendAtomicAdd:
-		addrs := make([]uint32, 0, len(lanes))
-		for _, lane := range lanes {
+		for v := uint32(em); v != 0; v &= v - 1 {
+			lane := bits.TrailingZeros32(v)
 			addr := uint32(t.readElem(in.Src0, lane, isa.U32))
 			addrs = append(addrs, addr)
 			old := mem.AtomicAdd(addr, uint32(t.readElem(in.Src1, lane, isa.U32)))
 			t.writeElem(in.Dst, lane, isa.U32, uint64(old))
 		}
-		res.Lines = memory.CoalesceLines(addrs)
 	case isa.SendAtomicMin:
-		addrs := make([]uint32, 0, len(lanes))
-		for _, lane := range lanes {
+		for v := uint32(em); v != 0; v &= v - 1 {
+			lane := bits.TrailingZeros32(v)
 			addr := uint32(t.readElem(in.Src0, lane, isa.U32))
 			addrs = append(addrs, addr)
 			old := mem.AtomicMin(addr, uint32(t.readElem(in.Src1, lane, isa.U32)))
 			t.writeElem(in.Dst, lane, isa.U32, uint64(old))
 		}
-		res.Lines = memory.CoalesceLines(addrs)
 	default:
 		panic(fmt.Sprintf("eu: unimplemented send %d", in.Send))
+	}
+	t.addrBuf, t.slmBuf = addrs, slm
+	if global {
+		t.lineBuf = memory.CoalesceLinesInto(t.lineBuf, addrs)
+		res.Lines = t.lineBuf
+	} else if len(slm) > 0 {
+		res.SLMOffsets = slm
 	}
 }

@@ -89,6 +89,14 @@ type Thread struct {
 	// Stats is the per-thread instruction accumulator, merged into the
 	// run total when the kernel retires.
 	Stats *stats.Run
+
+	// Step scratch, reused across instructions: SEND address staging,
+	// coalesced lines, and SLM word offsets. ExecResult.Lines and
+	// ExecResult.SLMOffsets alias these buffers, so they are valid only
+	// until the thread's next Step.
+	addrBuf []uint32
+	lineBuf []uint32
+	slmBuf  []uint32
 }
 
 // Reset prepares the thread for a new dispatch with the given program,

@@ -62,8 +62,14 @@ func Interwarp(ctx context.Context, quick bool) ([]InterwarpRow, error) {
 			for len(streams) <= thread {
 				streams = append(streams, nil)
 			}
+			// res.Lines aliases per-thread scratch valid only until the
+			// thread's next Step; this stream outlives the run, so copy.
+			var lines []uint32
+			if len(res.Lines) > 0 {
+				lines = append(lines, res.Lines...)
+			}
 			streams[thread] = append(streams[thread],
-				interwarp.Step{Mask: res.Mask, Lines: res.Lines})
+				interwarp.Step{Mask: res.Mask, Lines: lines})
 			perWG[wg] = streams
 		}
 		for iter := 0; ; iter++ {

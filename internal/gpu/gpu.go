@@ -133,6 +133,49 @@ type GPU struct {
 	Cfg Config
 	Mem *memory.System
 	EUs []*eu.EU
+
+	// Timed-run scratch, reused across cycles and launches: retired
+	// workgroup records, their 64KB scratchpads (cleared on reuse), the
+	// live-workgroup list, and the dispatch free-slot buffer. Allocating
+	// any of these per workgroup or — worse — iterating a map per cycle
+	// dominated the timed-loop profile before they were pooled.
+	wgPool  []*workgroup
+	slmPool []*memory.SLM
+	live    []*workgroup
+	slots   []int
+}
+
+// getWorkgroup reuses or creates a workgroup record with a zeroed SLM.
+func (g *GPU) getWorkgroup(id int) *workgroup {
+	var wg *workgroup
+	if n := len(g.wgPool); n > 0 {
+		wg = g.wgPool[n-1]
+		g.wgPool[n-1] = nil
+		g.wgPool = g.wgPool[:n-1]
+		wg.id = id
+	} else {
+		wg = &workgroup{id: id}
+	}
+	if n := len(g.slmPool); n > 0 {
+		wg.slm = g.slmPool[n-1]
+		g.slmPool[n-1] = nil
+		g.slmPool = g.slmPool[:n-1]
+		wg.slm.Clear()
+	} else {
+		wg.slm = memory.NewSLM(g.Cfg.Mem.SLMBytes, g.Cfg.Mem.SLMBanks)
+	}
+	return wg
+}
+
+// putWorkgroup returns a retired workgroup and its scratchpad to the pools.
+func (g *GPU) putWorkgroup(wg *workgroup) {
+	g.slmPool = append(g.slmPool, wg.slm)
+	wg.slm = nil
+	for i := range wg.members {
+		wg.members[i] = nil
+	}
+	wg.members = wg.members[:0]
+	g.wgPool = append(g.wgPool, wg)
 }
 
 // New builds a GPU for the given configuration.
@@ -243,7 +286,7 @@ func (g *GPU) RunCtx(ctx context.Context, spec LaunchSpec) (*stats.Run, error) {
 	run.TimedPolicy = g.Cfg.EU.Policy
 
 	nextWG := 0
-	live := make(map[int]*workgroup)
+	live := g.live[:0]
 	var cycle int64
 
 	for {
@@ -256,17 +299,17 @@ func (g *GPU) RunCtx(ctx context.Context, spec LaunchSpec) (*stats.Run, error) {
 		for nextWG < numWGs {
 			placed := false
 			for _, e := range g.EUs {
-				slots := e.FreeSlots()
-				if len(slots) < threadsPerWG {
+				g.slots = e.FreeSlotsInto(g.slots)
+				if len(g.slots) < threadsPerWG {
 					continue
 				}
-				wg := &workgroup{id: nextWG, slm: memory.NewSLM(g.Cfg.Mem.SLMBytes, g.Cfg.Mem.SLMBanks)}
+				wg := g.getWorkgroup(nextWG)
 				for t := 0; t < threadsPerWG; t++ {
-					th := e.Threads[slots[t]]
+					th := e.Threads[g.slots[t]]
 					initThread(th, &spec, nextWG, t, wg.slm, run)
 					wg.members = append(wg.members, th)
 				}
-				live[nextWG] = wg
+				live = append(live, wg)
 				nextWG++
 				placed = true
 				break
@@ -277,7 +320,10 @@ func (g *GPU) RunCtx(ctx context.Context, spec LaunchSpec) (*stats.Run, error) {
 		}
 
 		// Barrier release: when every member of a workgroup is parked.
-		for id, wg := range live {
+		// Retired workgroups swap-remove from the live list (order is
+		// irrelevant) and return to the pools.
+		for i := 0; i < len(live); {
+			wg := live[i]
 			atBar, done := 0, 0
 			for _, th := range wg.members {
 				switch th.State {
@@ -295,8 +341,13 @@ func (g *GPU) RunCtx(ctx context.Context, spec LaunchSpec) (*stats.Run, error) {
 				}
 			}
 			if done == len(wg.members) {
-				delete(live, id)
+				live[i] = live[len(live)-1]
+				live[len(live)-1] = nil
+				live = live[:len(live)-1]
+				g.putWorkgroup(wg)
+				continue
 			}
+			i++
 		}
 
 		// Termination.
@@ -326,6 +377,7 @@ func (g *GPU) RunCtx(ctx context.Context, spec LaunchSpec) (*stats.Run, error) {
 		}
 	}
 
+	g.live = live[:0] // hand the grown backing array to the next launch
 	run.TotalCycles = cycle
 	for _, e := range g.EUs {
 		run.EUBusy += e.Busy

@@ -48,12 +48,60 @@ func QuadCount(width, group int) int {
 	return (width + group - 1) / group
 }
 
+// Per-byte lookup tables for the hardware group sizes: nzNibbles[b] is
+// the number of non-zero 4-bit groups in byte b (32-bit datatypes),
+// nzPairs[b] the number of non-zero 2-bit groups (64-bit datatypes). They
+// turn the per-instruction BCC dead-quad count into four table reads.
+var nzNibbles, nzPairs [256]uint8
+
+func init() {
+	for b := 0; b < 256; b++ {
+		if b&0x0F != 0 {
+			nzNibbles[b]++
+		}
+		if b&0xF0 != 0 {
+			nzNibbles[b]++
+		}
+		for q := 0; q < 4; q++ {
+			if b>>(2*q)&3 != 0 {
+				nzPairs[b]++
+			}
+		}
+	}
+}
+
 // ActiveQuads reports how many execution groups of the given width have at
 // least one enabled lane. This is the execution-cycle count under Basic
-// Cycle Compression before the 1-cycle minimum is applied.
+// Cycle Compression before the 1-cycle minimum is applied. The hardware
+// group sizes (2, 4, 8 lanes, plus the degenerate 1) take table-driven
+// fast paths; anything else falls back to the generic group walk.
 func (m Mask) ActiveQuads(width, group int) int {
+	quads := QuadCount(width, group)
+	mm := m
+	if bits := quads * group; bits < 32 {
+		// Only the lanes covered by the instruction's groups count,
+		// exactly as the generic walk below sees them.
+		mm &= Mask(1)<<uint(bits) - 1
+	}
+	v := uint32(mm)
+	switch group {
+	case 4:
+		return int(nzNibbles[v&0xFF] + nzNibbles[v>>8&0xFF] + nzNibbles[v>>16&0xFF] + nzNibbles[v>>24])
+	case 2:
+		return int(nzPairs[v&0xFF] + nzPairs[v>>8&0xFF] + nzPairs[v>>16&0xFF] + nzPairs[v>>24])
+	case 8:
+		n := 0
+		for ; v != 0; v >>= 8 {
+			if v&0xFF != 0 {
+				n++
+			}
+		}
+		return n
+	case 1:
+		return mm.PopCount()
+	}
 	n := 0
-	for q := 0; q < QuadCount(width, group); q++ {
+	for q := 0; q < quads; q++ {
 		if m.Quad(q, group) != 0 {
 			n++
 		}

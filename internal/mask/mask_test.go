@@ -154,6 +154,45 @@ func TestCycleOrderingProperty(t *testing.T) {
 	}
 }
 
+// activeQuadsRef is the pre-LUT reference implementation of ActiveQuads.
+func activeQuadsRef(m Mask, width, group int) int {
+	n := 0
+	for q := 0; q < QuadCount(width, group); q++ {
+		if m.Quad(q, group) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// The table-driven ActiveQuads must match the generic group walk for every
+// group size, including the non-hardware ones that use the fallback path.
+func TestActiveQuadsMatchesReference(t *testing.T) {
+	masks := []Mask{0, 1, 0xAAAA, 0xF0F0, 0x137F, 0xFFFF, 0x8001,
+		0xAAAAAAAA, 0xFFFFFFFF, 0x80000001, 0x00FF00FF, 0xDEADBEEF}
+	for raw := 0; raw <= 0xFFFF; raw += 7 {
+		masks = append(masks, Mask(raw))
+	}
+	for _, m := range masks {
+		for _, width := range []int{1, 4, 6, 8, 15, 16, 24, 32} {
+			for _, group := range []int{1, 2, 3, 4, 5, 8, 16} {
+				got := m.ActiveQuads(width, group)
+				want := activeQuadsRef(m, width, group)
+				if got != want {
+					t.Fatalf("ActiveQuads(%#x, %d, %d) = %d, want %d", uint32(m), width, group, got, want)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkActiveQuads(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Mask(uint32(i)).ActiveQuads(16, 4)
+	}
+}
+
 // Property: Lanes() round-trips with SetLane and matches PopCount.
 func TestLanesRoundTripProperty(t *testing.T) {
 	f := func(raw uint32) bool {

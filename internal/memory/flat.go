@@ -181,6 +181,13 @@ func (f *Flat) ReadBytes(addr uint32, dst []byte) {
 type SLM struct {
 	data  []byte
 	banks int
+
+	// ConflictCycles scratch, reused across calls: the distinct words of
+	// one access and the per-bank tallies. An SLM belongs to exactly one
+	// workgroup and conflict accounting is serial, so plain fields are
+	// safe.
+	words   []uint32
+	bankCnt []int
 }
 
 // NewSLM creates a scratchpad of the given size and bank count.
@@ -189,6 +196,12 @@ func NewSLM(size, banks int) *SLM {
 		banks = 16
 	}
 	return &SLM{data: make([]byte, size), banks: banks}
+}
+
+// Clear zeroes the scratchpad so a pooled SLM is indistinguishable from a
+// fresh NewSLM allocation.
+func (s *SLM) Clear() {
+	clear(s.data)
 }
 
 // Size returns the scratchpad capacity in bytes.
@@ -213,24 +226,40 @@ func (s *SLM) WriteU32(off uint32, v uint32) {
 // ConflictCycles returns the number of serialized access cycles for a set
 // of per-lane word offsets: the maximum number of distinct words mapping
 // to the same bank (lanes hitting the same word broadcast in one cycle).
+// It reuses per-SLM scratch, so steady-state accounting is allocation-free.
 func (s *SLM) ConflictCycles(offsets []uint32) int {
 	if len(offsets) == 0 {
 		return 0
 	}
-	perBank := make(map[int]map[uint32]bool, s.banks)
-	worst := 1
+	// Dedup the words: one access covers at most one word per lane, so the
+	// linear scan over ≤32 candidates beats a map.
+	s.words = s.words[:0]
 	for _, off := range offsets {
 		word := off >> 2
-		bank := int(word) % s.banks
-		words := perBank[bank]
-		if words == nil {
-			words = make(map[uint32]bool)
-			perBank[bank] = words
+		seen := false
+		for _, w := range s.words {
+			if w == word {
+				seen = true
+				break
+			}
 		}
-		words[word] = true
-		if len(words) > worst {
-			worst = len(words)
+		if !seen {
+			s.words = append(s.words, word)
 		}
+	}
+	if len(s.bankCnt) < s.banks {
+		s.bankCnt = make([]int, s.banks)
+	}
+	worst := 1
+	for _, w := range s.words {
+		b := int(w) % s.banks
+		s.bankCnt[b]++
+		if s.bankCnt[b] > worst {
+			worst = s.bankCnt[b]
+		}
+	}
+	for _, w := range s.words {
+		s.bankCnt[int(w)%s.banks] = 0
 	}
 	return worst
 }
@@ -239,14 +268,27 @@ func (s *SLM) ConflictCycles(offsets []uint32) int {
 // of per-lane byte addresses — the per-instruction memory divergence of
 // the paper (§1). Order follows first appearance.
 func CoalesceLines(addrs []uint32) []uint32 {
-	seen := make(map[uint32]bool, len(addrs))
-	out := make([]uint32, 0, 4)
+	return CoalesceLinesInto(make([]uint32, 0, 4), addrs)
+}
+
+// CoalesceLinesInto is CoalesceLines appending into dst's backing array
+// (reset to length zero first), so per-instruction coalescing can reuse a
+// scratch buffer. With at most one address per lane (≤32), the linear
+// dedup scan beats a map and allocates nothing once dst has capacity.
+func CoalesceLinesInto(dst, addrs []uint32) []uint32 {
+	dst = dst[:0]
 	for _, a := range addrs {
 		l := LineAddr(a)
-		if !seen[l] {
-			seen[l] = true
-			out = append(out, l)
+		seen := false
+		for _, d := range dst {
+			if d == l {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dst = append(dst, l)
 		}
 	}
-	return out
+	return dst
 }

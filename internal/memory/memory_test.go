@@ -259,7 +259,7 @@ func TestSystemRequestCompletion(t *testing.T) {
 	cfg := DefaultConfig()
 	sys := NewSystem(cfg)
 	var doneAt int64 = -1
-	sys.RequestLines([]uint32{0x1000}, 0, func(r int64) { doneAt = r })
+	sys.RequestLines([]uint32{0x1000}, 0, DoneFunc(func(r int64) { doneAt = r }))
 	// Cold miss path: L3 (7) + LLC (10) + DRAM (200).
 	var now int64
 	for doneAt < 0 && now < 10000 {
@@ -276,7 +276,7 @@ func TestSystemRequestCompletion(t *testing.T) {
 	// Second access to the same line: L3 hit.
 	doneAt = -1
 	start := now
-	sys.RequestLines([]uint32{0x1000}, now, func(r int64) { doneAt = r })
+	sys.RequestLines([]uint32{0x1000}, now, DoneFunc(func(r int64) { doneAt = r }))
 	for doneAt < 0 && now < start+10000 {
 		sys.Tick(now)
 		now++
@@ -300,7 +300,7 @@ func TestSystemBandwidthThrottle(t *testing.T) {
 			lines[i] = uint32(0x1000 + i*LineBytes)
 		}
 		var doneAt int64 = -1
-		sys.RequestLines(lines, 0, func(r int64) { doneAt = r })
+		sys.RequestLines(lines, 0, DoneFunc(func(r int64) { doneAt = r }))
 		var now int64
 		for doneAt < 0 && now < 100000 {
 			sys.Tick(now)
@@ -325,7 +325,7 @@ func TestSystemBandwidthThrottle(t *testing.T) {
 func TestSystemEmptyRequest(t *testing.T) {
 	sys := NewSystem(DefaultConfig())
 	var done bool
-	sys.RequestLines(nil, 5, func(int64) { done = true })
+	sys.RequestLines(nil, 5, DoneFunc(func(int64) { done = true }))
 	sys.Tick(5)
 	if !done {
 		t.Fatal("empty request must complete on the next tick")
@@ -340,7 +340,7 @@ func TestSystemPerfectL3(t *testing.T) {
 	cfg.PerfectL3 = true
 	sys := NewSystem(cfg)
 	var doneAt int64 = -1
-	sys.RequestLines([]uint32{0x9000}, 0, func(r int64) { doneAt = r })
+	sys.RequestLines([]uint32{0x9000}, 0, DoneFunc(func(r int64) { doneAt = r }))
 	for now := int64(0); doneAt < 0 && now < 100; now++ {
 		sys.Tick(now)
 	}

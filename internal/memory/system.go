@@ -1,7 +1,5 @@
 package memory
 
-import "container/heap"
-
 // Config holds the memory-system parameters of paper Table 3.
 type Config struct {
 	SLMBytes   int
@@ -49,6 +47,20 @@ type Stats struct {
 	DRAMLines      int64
 }
 
+// Done receives the completion of a group of line requests. Passing a
+// pointer implementation avoids the per-request closure allocation a
+// func-typed callback would force on the hot SEND path; DoneFunc adapts a
+// plain function where allocation does not matter.
+type Done interface {
+	LinesReady(ready int64)
+}
+
+// DoneFunc adapts a function to the Done interface.
+type DoneFunc func(ready int64)
+
+// LinesReady implements Done.
+func (f DoneFunc) LinesReady(ready int64) { f(ready) }
+
 type lineReq struct {
 	line  uint32
 	group *reqGroup
@@ -57,7 +69,7 @@ type lineReq struct {
 type reqGroup struct {
 	remaining int
 	latest    int64
-	done      func(ready int64)
+	done      Done
 }
 
 type completion struct {
@@ -65,18 +77,50 @@ type completion struct {
 	group *reqGroup
 }
 
+// completionHeap is a hand-rolled min-heap ordered by completion cycle.
+// container/heap would box every completion into an interface on Push;
+// this runs on the per-SEND path, so the heap operates on the concrete
+// type directly.
 type completionHeap []completion
 
-func (h completionHeap) Len() int            { return len(h) }
-func (h completionHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *completionHeap) push(c completion) {
+	*h = append(*h, c)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].at <= s[i].at {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *completionHeap) pop() completion {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s[l].at < s[min].at {
+			min = l
+		}
+		if r < n && s[r].at < s[min].at {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // System is the timed global-memory path: the data-cluster queue feeding
@@ -87,9 +131,18 @@ type System struct {
 	L3  *Cache
 	LLC *Cache
 
+	// queue is the data-cluster admission queue with an explicit head
+	// index: dequeuing advances qHead and the buffer is rewound when it
+	// drains, so steady-state traffic reuses one backing array instead of
+	// marching a reslice across ever-new allocations.
 	queue    []lineReq
+	qHead    int
 	pending  completionHeap
 	dramFree int64
+
+	// free recycles reqGroup objects between requests so the steady-state
+	// SEND path does not allocate.
+	free []*reqGroup
 
 	Stats Stats
 }
@@ -107,13 +160,22 @@ func NewSystem(cfg Config) *System {
 }
 
 // RequestLines enqueues a SEND's coalesced line requests into the data
-// cluster. done is invoked (during a later Tick) with the cycle at which
-// the last line's data is available. An empty request completes
-// immediately on the next Tick.
-func (s *System) RequestLines(lines []uint32, now int64, done func(ready int64)) {
-	g := &reqGroup{remaining: len(lines), latest: now, done: done}
+// cluster. done.LinesReady is invoked (during a later Tick) with the cycle
+// at which the last line's data is available. An empty request completes
+// immediately on the next Tick. The lines slice is not retained — callers
+// may reuse it after the call returns.
+func (s *System) RequestLines(lines []uint32, now int64, done Done) {
+	var g *reqGroup
+	if n := len(s.free); n > 0 {
+		g = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*g = reqGroup{remaining: len(lines), latest: now, done: done}
+	} else {
+		g = &reqGroup{remaining: len(lines), latest: now, done: done}
+	}
 	if len(lines) == 0 {
-		heap.Push(&s.pending, completion{at: now, group: g})
+		s.pending.push(completion{at: now, group: g})
 		return
 	}
 	s.Stats.LinesRequested += int64(len(lines))
@@ -124,10 +186,10 @@ func (s *System) RequestLines(lines []uint32, now int64, done func(ready int64))
 
 // QueueLen reports the number of line requests waiting for data-cluster
 // slots (testing and back-pressure hook).
-func (s *System) QueueLen() int { return len(s.queue) }
+func (s *System) QueueLen() int { return len(s.queue) - s.qHead }
 
 // InFlight reports whether any request is queued or pending completion.
-func (s *System) InFlight() bool { return len(s.queue) > 0 || s.pending.Len() > 0 }
+func (s *System) InFlight() bool { return s.QueueLen() > 0 || len(s.pending) > 0 }
 
 // Tick advances the data cluster by one cycle: it admits up to
 // DCLinesPerCycle line requests into the cache hierarchy and fires any
@@ -137,22 +199,31 @@ func (s *System) Tick(now int64) {
 	if bw < 1 {
 		bw = 1
 	}
-	for i := 0; i < bw && len(s.queue) > 0; i++ {
-		r := s.queue[0]
-		s.queue = s.queue[1:]
+	for i := 0; i < bw && s.qHead < len(s.queue); i++ {
+		r := s.queue[s.qHead]
+		s.queue[s.qHead] = lineReq{}
+		s.qHead++
+		if s.qHead == len(s.queue) {
+			s.queue = s.queue[:0]
+			s.qHead = 0
+		}
 		ready := s.lookup(r.line, now)
 		if ready > r.group.latest {
 			r.group.latest = ready
 		}
 		r.group.remaining--
 		if r.group.remaining == 0 {
-			heap.Push(&s.pending, completion{at: r.group.latest, group: r.group})
+			s.pending.push(completion{at: r.group.latest, group: r.group})
 		}
 	}
-	for s.pending.Len() > 0 && s.pending[0].at <= now {
-		c := heap.Pop(&s.pending).(completion)
-		if c.group.remaining == 0 && c.group.done != nil {
-			c.group.done(c.at)
+	for len(s.pending) > 0 && s.pending[0].at <= now {
+		c := s.pending.pop()
+		if c.group.remaining == 0 {
+			if c.group.done != nil {
+				c.group.done.LinesReady(c.at)
+			}
+			c.group.done = nil
+			s.free = append(s.free, c.group)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync/atomic"
 )
 
@@ -41,4 +42,13 @@ func (m *metrics) render(w io.Writer, cacheLen int) {
 	gauge("queue_depth", "requests waiting for a run slot", m.queueDepth.Load())
 	gauge("in_flight", "simulations currently holding a run slot", m.inFlight.Load())
 	gauge("cache_entries", "entries in the result cache", int64(cacheLen))
+
+	// Go runtime health: allocation pressure from the simulation engine
+	// shows up here first (the timed hot loop is designed to stay flat).
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge("go_heap_alloc_bytes", "bytes of allocated heap objects", int64(ms.HeapAlloc))
+	gauge("go_gc_runs_total", "completed GC cycles", int64(ms.NumGC))
+	gauge("go_gc_pause_ns_total", "cumulative GC stop-the-world pause", int64(ms.PauseTotalNs))
+	gauge("go_goroutines", "live goroutines", int64(runtime.NumGoroutine()))
 }

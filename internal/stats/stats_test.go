@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"intrawarp/internal/compaction"
+	"intrawarp/internal/mask"
 )
 
 func TestRecordInstrEfficiency(t *testing.T) {
@@ -177,5 +178,16 @@ func TestEnergyProxy(t *testing.T) {
 	r.Merge(o)
 	if r.LaneCycles != 11 || r.QuadFetches != 7 || r.CrossbarOps != 13 {
 		t.Fatal("energy counters not merged")
+	}
+}
+
+// BenchmarkRecordInstr measures the per-instruction statistics hot path
+// (called once per functionally executed instruction).
+func BenchmarkRecordInstr(b *testing.B) {
+	r := NewRun("bench", 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RecordInstr(16, 4, mask.Mask(uint32(i)))
 	}
 }
