@@ -6,6 +6,9 @@ GO ?= go
 BENCHTIME ?= 1x
 BENCHOUT  ?= BENCH_timed.json
 
+# fuzz-smoke budget per target; CI's verify job uses the default.
+FUZZTIME ?= 30s
+
 build:
 	$(GO) build ./...
 
@@ -24,9 +27,22 @@ race:
 	$(GO) test -race ./...
 	$(GO) test -race -tags statsguard ./internal/stats/ ./internal/gpu/ ./internal/workloads/ ./internal/par/ ./internal/serve/
 
-.PHONY: build vet test race check bench
+.PHONY: build vet test race check bench verify fuzz-smoke
 
 check: build vet test race
+
+# verify runs the differential verification harness (DESIGN.md §10):
+# every workload at quick sizes, each captured instruction checked
+# against the independent oracle, and the serial, parallel, trace-replay
+# and timed engines (all four policies) cross-checked bit for bit.
+verify:
+	$(GO) run ./cmd/simd-verify -quick -timed
+
+# fuzz-smoke gives each fuzz target a short adversarial run on top of
+# its checked-in corpus.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzSCCSchedule -fuzztime $(FUZZTIME) ./internal/gpu/
+	$(GO) test -run '^$$' -fuzz FuzzMetamorphicCycles -fuzztime $(FUZZTIME) ./internal/compaction/
 
 # bench runs every benchmark with allocation reporting and converts the
 # output into $(BENCHOUT) (ns/op, B/op, allocs/op per benchmark) for the

@@ -90,10 +90,7 @@ func captureTrace(name string, n int, path string) error {
 		return err
 	}
 	visit := func(_, _ int, res eu.ExecResult) {
-		_ = w.Write(trace.Record{
-			Width: uint8(res.Width), Group: uint8(res.Group),
-			Pipe: uint8(res.Pipe), Mask: res.Mask,
-		})
+		_ = w.Write(trace.RecordOf(res))
 	}
 	for iter := 0; ; iter++ {
 		ls := inst.Next(iter)

@@ -1,0 +1,162 @@
+package compaction
+
+import (
+	"math/rand"
+	"testing"
+
+	"intrawarp/internal/mask"
+)
+
+// Metamorphic properties of the cycle models (DESIGN.md §5): the paper's
+// cost arguments depend only on mask *shape statistics*, never on lane
+// identity, so specific transformations of a mask must leave specific
+// costs unchanged:
+//
+//   - SCC charges ceil(popcount/group), so its cycle count (and its
+//     materialized schedule length) is invariant under any permutation of
+//     lanes within each quad and any reordering of whole quads.
+//   - BCC charges the number of non-empty quads, so it is invariant under
+//     the same transformations — permuting inside a quad cannot empty it,
+//     reordering quads cannot change how many are empty.
+//   - Baseline charges ceil(width/group) regardless of the mask.
+//
+// The Ivy Bridge rule is deliberately absent: it reads lane *positions*
+// (which half is dead), so quad reordering legitimately changes it.
+
+// transformMask rebuilds a mask by placing source quad order[dq] at
+// destination quad dq, with lanes inside every quad rerouted through
+// perm (perm[i] is the source offset feeding destination offset i).
+func transformMask(m mask.Mask, width, group int, perm []int, order []int) mask.Mask {
+	var out mask.Mask
+	for dq := 0; dq < len(order); dq++ {
+		sq := order[dq]
+		for i := 0; i < group; i++ {
+			if m.Lane(sq*group + perm[i]) {
+				out = out.SetLane(dq*group + i)
+			}
+		}
+	}
+	return out
+}
+
+// permutations returns every permutation of [0..n).
+func permutations(n int) [][]int {
+	var out [][]int
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), base...))
+			return
+		}
+		for i := k; i < n; i++ {
+			base[k], base[i] = base[i], base[k]
+			rec(k + 1)
+			base[k], base[i] = base[i], base[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// checkInvariant asserts the SCC/BCC/Baseline costs and the SCC schedule
+// length of the transformed mask match the original's.
+func checkInvariant(t *testing.T, m, tm mask.Mask, width, group int) {
+	t.Helper()
+	for _, p := range []Policy{Baseline, BCC, SCC} {
+		if a, b := p.Cycles(m, width, group), p.Cycles(tm, width, group); a != b {
+			t.Fatalf("%s cycles not invariant: mask %#x -> %#x (width=%d group=%d): %d -> %d",
+				p, uint32(m), uint32(tm), width, group, a, b)
+		}
+	}
+	a := len(ComputeSchedule(m, width, group).Cycles)
+	b := len(ComputeSchedule(tm, width, group).Cycles)
+	if a != b {
+		t.Fatalf("SCC schedule length not invariant: mask %#x -> %#x (width=%d group=%d): %d -> %d",
+			uint32(m), uint32(tm), width, group, a, b)
+	}
+}
+
+// TestMetamorphicExhaustiveSIMD8 applies every intra-quad permutation
+// and every quad ordering to every SIMD8 mask. The same lane permutation
+// is applied to both quads; per-quad independence is exercised by the
+// composition of runs (permuting quad A alone equals permuting both,
+// reordering, permuting both again, reordering back — and each step is
+// itself checked here).
+func TestMetamorphicExhaustiveSIMD8(t *testing.T) {
+	const width, group = 8, 4
+	perms := permutations(group)
+	orders := permutations(width / group)
+	for raw := 0; raw <= 0xFF; raw++ {
+		m := mask.Mask(uint32(raw))
+		for _, perm := range perms {
+			for _, order := range orders {
+				checkInvariant(t, m, transformMask(m, width, group, perm, order), width, group)
+			}
+		}
+	}
+}
+
+// TestMetamorphicRandomSIMD16SIMD32 samples random masks, random
+// intra-quad permutations, and random quad orderings at the widths too
+// large to enumerate, with independent per-quad lane permutations.
+func TestMetamorphicRandomSIMD16SIMD32(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 20000; i++ {
+		width := []int{16, 32}[i%2]
+		group := []int{2, 4}[i/2%2]
+		m := mask.Mask(r.Uint32()).Trunc(width)
+		if i%3 == 0 {
+			m = m & mask.Mask(r.Uint32()) // bias sparse
+		}
+		quads := width / group
+
+		// Independent permutation per destination quad, then quad reorder.
+		order := r.Perm(quads)
+		var tm mask.Mask
+		for dq := 0; dq < quads; dq++ {
+			perm := r.Perm(group)
+			sq := order[dq]
+			for j := 0; j < group; j++ {
+				if m.Lane(sq*group + perm[j]) {
+					tm = tm.SetLane(dq*group + j)
+				}
+			}
+		}
+		checkInvariant(t, m, tm, width, group)
+	}
+}
+
+// FuzzMetamorphicCycles lets the fuzzer search for a mask and
+// permutation seed where the invariance breaks — a direct attack on the
+// closed-form cost models' independence from lane identity.
+func FuzzMetamorphicCycles(f *testing.F) {
+	f.Add(uint32(0xAAAA), int64(1))
+	f.Add(uint32(0x00FF), int64(2))
+	f.Add(uint32(0xDEADBEEF), int64(3))
+	f.Add(uint32(0x0001), int64(4))
+	f.Fuzz(func(t *testing.T, bits uint32, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		for _, width := range []int{8, 16, 32} {
+			for _, group := range []int{2, 4} {
+				m := mask.Mask(bits).Trunc(width)
+				quads := width / group
+				order := r.Perm(quads)
+				var tm mask.Mask
+				for dq := 0; dq < quads; dq++ {
+					perm := r.Perm(group)
+					sq := order[dq]
+					for j := 0; j < group; j++ {
+						if m.Lane(sq*group + perm[j]) {
+							tm = tm.SetLane(dq*group + j)
+						}
+					}
+				}
+				checkInvariant(t, m, tm, width, group)
+			}
+		}
+	})
+}

@@ -398,6 +398,9 @@ func validateSCCSchedule(res ExecResult, charged int64) {
 		panic(fmt.Sprintf("eu: SCC schedule/%s has %d cycles but %d were charged (mask %#x)",
 			res.Instr.Op, len(s.Cycles), charged, uint32(res.Mask)))
 	}
+	// Track issued lanes as a bitmask: count+membership alone cannot see
+	// a schedule that executes one element twice while dropping another.
+	var seen uint64
 	issued := 0
 	for c, cyc := range s.Cycles {
 		for n, a := range cyc {
@@ -409,6 +412,11 @@ func validateSCCSchedule(res ExecResult, charged int64) {
 				panic(fmt.Sprintf("eu: SCC schedule cycle %d ALU lane %d sources disabled lane %d (mask %#x)",
 					c, n, lane, uint32(res.Mask)))
 			}
+			if seen>>uint(lane)&1 == 1 {
+				panic(fmt.Sprintf("eu: SCC schedule cycle %d ALU lane %d re-executes lane %d (mask %#x)",
+					c, n, lane, uint32(res.Mask)))
+			}
+			seen |= 1 << uint(lane)
 			issued++
 		}
 	}
@@ -475,6 +483,24 @@ func (e *EU) fireWritebacks(now int64) {
 	e.wbMin = min
 }
 
+// BeginLaunch clears per-launch statistics and absolute-time state. The
+// GPU calls it at the start of every timed launch: the cycle counter
+// restarts at zero per launch, so pipe/front-end deadlines from a
+// previous launch would otherwise stall the new one, and the busy/stall
+// counters must cover exactly one launch — multi-launch workloads merge
+// per-launch runs, which double-counts anything cumulative. (Caught by
+// the differential verification harness; see DESIGN.md §10.)
+func (e *EU) BeginLaunch() {
+	e.Busy = 0
+	e.Windows = [stats.NumStallKinds]int64{}
+	e.pipeFree = [2]int64{}
+	e.sendFree = 0
+	for i := range e.lastIssue {
+		e.lastIssue[i] = 0
+		e.readyAt[i] = 0
+	}
+}
+
 // Quiet reports whether the EU has no runnable work and nothing in flight:
 // used by the GPU's termination check.
 func (e *EU) Quiet() bool {
@@ -492,6 +518,23 @@ func (e *EU) Quiet() bool {
 // FreeSlots returns the indices of idle or retired thread contexts
 // available for dispatch.
 func (e *EU) FreeSlots() []int { return e.FreeSlotsInto(nil) }
+
+// IdleSlotsInto appends the workgroup-dispatchable thread-context
+// indices to dst[:0]. Unlike FreeSlotsInto it excludes ThreadDone
+// contexts: a done thread can still belong to a live workgroup, and
+// re-dispatching its slot would alias the old group's membership onto
+// the new threads — the old group's barrier bookkeeping would then
+// release the new group's threads before all of them arrived. The GPU
+// marks contexts idle when their whole workgroup retires.
+func (e *EU) IdleSlotsInto(dst []int) []int {
+	dst = dst[:0]
+	for i, th := range e.Threads {
+		if th.State == ThreadIdle && e.outstanding[i] == 0 {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
 
 // FreeSlotsInto appends the free thread-context indices to dst[:0] so the
 // per-cycle dispatch loop can reuse one scratch slice.

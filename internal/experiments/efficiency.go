@@ -62,29 +62,11 @@ func workloadRuns(ctx context.Context, quick bool, workers int) (sim, traces []*
 	return sim, traces, nil
 }
 
-// quickSizes overrides problem sizes for fast experiment runs; workloads
-// not listed use their defaults (which are already modest).
-var quickSizes = map[string]int{
-	"nw": 24, "hotspot": 32, "gauss": 16, "srad": 32,
-	"bfs": 256, "lavamd": 128, "particlefilter": 128, "kmeans": 256,
-	"pathfinder": 128, "backprop": 128,
-	"matmul": 16, "mvm": 32, "transpose": 32, "sobel": 34,
-	"vecadd": 512, "dotproduct": 512, "blackscholes": 256, "dct8": 256,
-	"mersenne": 256, "eigenvalue": 64, "bsearch": 256, "bitonic": 256,
-	"floydwarshall": 16, "binomial": 64, "boxfilter": 256, "fwht": 128,
-	"dwt-haar": 128, "montecarlo": 128, "urng": 256, "scan": 256,
-	"convolution": 256, "knn": 128, "dxtc": 128, "hmm": 128,
-}
-
-// quickScale shrinks problem sizes for fast experiment runs.
+// quickScale shrinks problem sizes for fast experiment runs. The sizes
+// live in internal/workloads (QuickSize) so the differential
+// verification harness sweeps the same quick set.
 func quickScale(s *workloads.Spec) int {
-	if n, ok := quickSizes[s.Name]; ok {
-		return n
-	}
-	if s.Class == "raytrace" {
-		return 256
-	}
-	return 0 // workload default
+	return workloads.QuickSize(s)
 }
 
 func runFig3(ctx *Context) error {

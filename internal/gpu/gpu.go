@@ -167,11 +167,14 @@ func (g *GPU) getWorkgroup(id int) *workgroup {
 	return wg
 }
 
-// putWorkgroup returns a retired workgroup and its scratchpad to the pools.
+// putWorkgroup returns a retired workgroup and its scratchpad to the
+// pools. Member contexts go back to ThreadIdle here — and only here —
+// so dispatch can never reuse a slot whose workgroup is still live.
 func (g *GPU) putWorkgroup(wg *workgroup) {
 	g.slmPool = append(g.slmPool, wg.slm)
 	wg.slm = nil
 	for i := range wg.members {
+		wg.members[i].State = eu.ThreadIdle
 		wg.members[i] = nil
 	}
 	wg.members = wg.members[:0]
@@ -284,6 +287,9 @@ func (g *GPU) RunCtx(ctx context.Context, spec LaunchSpec) (*stats.Run, error) {
 	done := ctx.Done()
 	run := stats.NewRun(spec.Kernel.Name, spec.Kernel.Width.Lanes())
 	run.TimedPolicy = g.Cfg.EU.Policy
+	for _, e := range g.EUs {
+		e.BeginLaunch()
+	}
 
 	nextWG := 0
 	live := g.live[:0]
@@ -299,7 +305,7 @@ func (g *GPU) RunCtx(ctx context.Context, spec LaunchSpec) (*stats.Run, error) {
 		for nextWG < numWGs {
 			placed := false
 			for _, e := range g.EUs {
-				g.slots = e.FreeSlotsInto(g.slots)
+				g.slots = e.IdleSlotsInto(g.slots)
 				if len(g.slots) < threadsPerWG {
 					continue
 				}

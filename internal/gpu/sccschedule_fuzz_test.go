@@ -1,10 +1,11 @@
-package gpu
+package gpu_test
 
 import (
 	"testing"
 
 	"intrawarp/internal/compaction"
 	"intrawarp/internal/mask"
+	"intrawarp/internal/oracle"
 )
 
 // FuzzSCCSchedule cross-checks the SCC crossbar control algorithm
@@ -12,10 +13,16 @@ import (
 // masks: every schedule must take exactly max(1, ceil(popcount/group))
 // cycles — the bound the paper's cycle-compression argument rests on —
 // and must execute each active element exactly once from a position the
-// mask really enables. The policy cost model and the O(width) swizzle
-// counter are checked against the materialized schedule at the same
-// time, since the simulator's hot paths use those instead of building
-// schedules.
+// mask really enables. The policy cost models and the O(width) swizzle
+// counter are checked against both the materialized schedule and the
+// independent oracle (internal/oracle), since the simulator's hot paths
+// use closed forms instead of building schedules.
+//
+// The seed tuple is (bits, widthIndex, groupIndex): the fuzz body maps
+// widthIn through widths[widthIn%4] and groupIn through groups[groupIn%3],
+// so seeds must pass selector indices, not raw widths — an earlier
+// version seeded raw widths (4/8/16/32), which all collapsed to
+// widths[0] = 4 and left SIMD16/32 covered only by mutation luck.
 func FuzzSCCSchedule(f *testing.F) {
 	// The paper's shapes: coherent halves, quad-aligned holes, scattered
 	// lanes (Fig. 8's 0xAAAA worst case), tail masks, and the empties.
@@ -25,12 +32,20 @@ func FuzzSCCSchedule(f *testing.F) {
 		0xFFFFFFFF, 0xDEADBEEF,
 	}
 	for _, bits := range seeds {
-		for _, width := range []uint8{4, 8, 16, 32} {
-			f.Add(bits, width, uint8(4))
+		for wi := uint8(0); wi < 4; wi++ { // widths 4, 8, 16, 32
+			f.Add(bits, wi, uint8(2)) // group 4
 		}
-		f.Add(bits, uint8(16), uint8(1))
-		f.Add(bits, uint8(16), uint8(2))
+		f.Add(bits, uint8(2), uint8(0)) // SIMD16, group 1
+		f.Add(bits, uint8(2), uint8(1)) // SIMD16, group 2
 	}
+	// Half-mask boundary shapes for the Ivy Bridge rule: exactly-dead
+	// halves at SIMD16 (where the rule fires), the same masks at SIMD32
+	// (where it must not), and alternating quads straddling the halves.
+	f.Add(uint32(0xFF00), uint8(2), uint8(2)) // lower 8 dead, SIMD16
+	f.Add(uint32(0x00FF), uint8(2), uint8(2)) // upper 8 dead, SIMD16
+	f.Add(uint32(0x00FF), uint8(3), uint8(2)) // same mask, SIMD32: no rule
+	f.Add(uint32(0xFF00FF00), uint8(3), uint8(2))
+	f.Add(uint32(0x0F0F), uint8(2), uint8(2)) // alternating quads, SIMD16
 
 	f.Fuzz(func(t *testing.T, bits uint32, widthIn, groupIn uint8) {
 		widths := []int{4, 8, 16, 32}
@@ -53,6 +68,22 @@ func FuzzSCCSchedule(f *testing.F) {
 		if got := compaction.SCC.Cycles(m, width, group); got != optimal {
 			t.Fatalf("mask %#x width=%d group=%d: SCC cost model charges %d cycles, optimum %d",
 				bits, width, group, got, optimal)
+		}
+
+		// Every policy's cost model against the independent oracle — the
+		// reference that shares no code with the engine. This is what ties
+		// the fuzzer to the differential harness: any mask it discovers
+		// that breaks a cycle model is a simd-verify failure in miniature.
+		ref := oracle.AllCycles(uint32(m), width, group)
+		for i, p := range compaction.Policies {
+			if got := p.Cycles(m, width, group); got != ref[i] {
+				t.Fatalf("mask %#x width=%d group=%d: %s charges %d cycles, oracle says %d",
+					bits, width, group, p, got, ref[i])
+			}
+		}
+		if got := compaction.CostAll(m, width, group); got != ref {
+			t.Fatalf("mask %#x width=%d group=%d: CostAll = %v, oracle says %v",
+				bits, width, group, got, ref)
 		}
 
 		// Soundness: each cycle configures exactly `group` ALU lanes, and
@@ -89,11 +120,16 @@ func FuzzSCCSchedule(f *testing.F) {
 			}
 		}
 
-		// The fast path must agree with the materialized schedule, and a
-		// BCC-only schedule must never engage the crossbar.
+		// The fast path must agree with the materialized schedule and the
+		// oracle's Fig. 6 surplus formula, and a BCC-only schedule must
+		// never engage the crossbar.
 		if fast, slow := compaction.SwizzleCount(m, width, group), sched.SwizzleCount(); fast != slow {
 			t.Fatalf("mask %#x width=%d group=%d: SwizzleCount fast path %d != schedule %d",
 				bits, width, group, fast, slow)
+		}
+		if want := oracle.SCCSwizzles(uint32(m), width, group); sched.SwizzleCount() != want {
+			t.Fatalf("mask %#x width=%d group=%d: schedule swizzles %d operands, oracle says %d",
+				bits, width, group, sched.SwizzleCount(), want)
 		}
 		if sched.BCCOnly && sched.SwizzleCount() != 0 {
 			t.Fatalf("mask %#x: BCC-only schedule swizzles\n%s", bits, sched)

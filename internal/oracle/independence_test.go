@@ -1,0 +1,23 @@
+package oracle
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// TestModelIndependence enforces the rule DESIGN.md §10 states: the
+// reference model (model.go) imports nothing — no engine packages whose
+// bugs it could inherit, and no stdlib helpers that would tempt sharing
+// a formula with the engine. The checker and harness files may import
+// the engine (they diff against it); the model must not.
+func TestModelIndependence(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "model.go", nil, parser.ImportsOnly)
+	if err != nil {
+		t.Fatalf("parsing model.go: %v", err)
+	}
+	for _, imp := range f.Imports {
+		t.Errorf("model.go imports %s; the reference model must be self-contained", imp.Path.Value)
+	}
+}

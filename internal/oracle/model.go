@@ -1,0 +1,248 @@
+// Package oracle is the differential verification subsystem: an
+// independent reference model of quad timing, a trace-invariant checker,
+// and a cross-engine differential harness (Diff, cmd/simd-verify) that
+// every optimization of the simulator is gated on.
+//
+// The paper's headline claims are exact cycle counts — BCC skips
+// all-dead quads, SCC always reaches ceil(popcount/group) cycles, the
+// Ivy Bridge SIMD16 half-mask rule is the baseline all gains are
+// measured against — and the engine that computes them has grown fast
+// paths (lookup tables, memoized schedule caches, closed-form swizzle
+// counts, parallel sharding, pooled zero-alloc loops) that are each
+// trusted to be bit-identical to a slower path. This package re-derives
+// the slow path from the paper alone and diffs the engine against it.
+package oracle
+
+// This file is the reference model. It is deliberately simple — plain
+// loops over lanes, no lookup tables, no shared helpers — and it is
+// structurally independent of the engine: model.go imports NOTHING, not
+// even other intrawarp packages (TestModelIndependence enforces this).
+// If a bug ever creeps into internal/mask or internal/compaction, this
+// file cannot inherit it.
+
+// Policy indices of the reference model, weakest to strongest. They
+// mirror the engine's compaction.Policy order; TestModelIndependence's
+// companion checks in oracle_test.go pin the correspondence.
+const (
+	Baseline = 0
+	IvyBridge = 1
+	BCC = 2
+	SCC = 3
+	NumPolicies = 4
+)
+
+// PolicyName names a reference policy index the way the engine prints it.
+func PolicyName(p int) string {
+	switch p {
+	case Baseline:
+		return "baseline"
+	case IvyBridge:
+		return "ivb"
+	case BCC:
+		return "bcc"
+	case SCC:
+		return "scc"
+	}
+	return "?"
+}
+
+// laneOn reports whether lane i of the mask is enabled, counting only
+// lanes inside the instruction's width.
+func laneOn(bits uint32, width, i int) bool {
+	if i < 0 || i >= width || i >= 32 {
+		return false
+	}
+	return bits>>uint(i)&1 == 1
+}
+
+// PopCount counts the enabled lanes of a width-lane instruction, one
+// lane at a time.
+func PopCount(bits uint32, width int) int {
+	n := 0
+	for i := 0; i < width && i < 32; i++ {
+		if laneOn(bits, width, i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Groups returns the number of execution groups (quads) of an
+// instruction: ceil(width/group), and at least 1.
+func Groups(width, group int) int {
+	n := (width + group - 1) / group
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// groupActive reports whether execution group q has any enabled lane.
+func groupActive(bits uint32, width, group, q int) bool {
+	for i := 0; i < group; i++ {
+		if laneOn(bits, width, q*group+i) {
+			return true
+		}
+	}
+	return false
+}
+
+// ActiveGroups counts the execution groups with at least one enabled
+// lane — the BCC cycle count before the 1-cycle issue minimum.
+func ActiveGroups(bits uint32, width, group int) int {
+	n := 0
+	for q := 0; q < Groups(width, group); q++ {
+		if groupActive(bits, width, group, q) {
+			n++
+		}
+	}
+	return n
+}
+
+// halfOff reports whether every lane of one half of a width-lane
+// instruction is disabled. upper selects the upper half.
+func halfOff(bits uint32, width int, upper bool) bool {
+	h := width / 2
+	lo, hi := 0, h
+	if upper {
+		lo, hi = h, width
+	}
+	for i := lo; i < hi; i++ {
+		if laneOn(bits, width, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// atLeastOne applies the universal issue minimum: an instruction with an
+// all-zero execution mask still occupies one issue slot.
+func atLeastOne(c int) int {
+	if c < 1 {
+		return 1
+	}
+	return c
+}
+
+// BaselineCycles: every group cycle issues, enabled or not.
+func BaselineCycles(bits uint32, width, group int) int {
+	return atLeastOne(Groups(width, group))
+}
+
+// IVBCycles models the pre-existing Ivy Bridge optimization the paper
+// inferred by micro-benchmarking (§5.2, Fig. 8): a SIMD16 instruction
+// whose upper or lower 8 lanes are all disabled executes at half width.
+// The rule applies to SIMD16 only, and only when the instruction spans
+// at least two groups.
+func IVBCycles(bits uint32, width, group int) int {
+	full := Groups(width, group)
+	c := full
+	if width == 16 && full >= 2 && (halfOff(bits, width, true) || halfOff(bits, width, false)) {
+		c = full / 2
+	}
+	return atLeastOne(c)
+}
+
+// BCCCycles: Basic Cycle Compression skips every all-dead group.
+func BCCCycles(bits uint32, width, group int) int {
+	return atLeastOne(ActiveGroups(bits, width, group))
+}
+
+// SCCCycles: Swizzled Cycle Compression reaches the optimum,
+// ceil(popcount/group) — the bound the paper's Fig. 6 control algorithm
+// is proven to achieve.
+func SCCCycles(bits uint32, width, group int) int {
+	pop := PopCount(bits, width)
+	return atLeastOne((pop + group - 1) / group)
+}
+
+// Cycles returns the reference cycle count of one policy index.
+func Cycles(p int, bits uint32, width, group int) int {
+	switch p {
+	case Baseline:
+		return BaselineCycles(bits, width, group)
+	case IvyBridge:
+		return IVBCycles(bits, width, group)
+	case BCC:
+		return BCCCycles(bits, width, group)
+	case SCC:
+		return SCCCycles(bits, width, group)
+	}
+	return BaselineCycles(bits, width, group)
+}
+
+// AllCycles returns the reference cycle counts of all four policies,
+// indexed [Baseline, IvyBridge, BCC, SCC].
+func AllCycles(bits uint32, width, group int) [NumPolicies]int {
+	return [NumPolicies]int{
+		BaselineCycles(bits, width, group),
+		IVBCycles(bits, width, group),
+		BCCCycles(bits, width, group),
+		SCCCycles(bits, width, group),
+	}
+}
+
+// CycleBounds returns the invariant envelope of DESIGN.md §5 for any
+// policy: no scheme can beat ceil(popcount/group) cycles, none may
+// exceed the baseline's ceil(width/group), and every instruction
+// occupies at least one issue slot.
+func CycleBounds(bits uint32, width, group int) (lo, hi int) {
+	return SCCCycles(bits, width, group), BaselineCycles(bits, width, group)
+}
+
+// SCCSwizzles recomputes, from the paper's Fig. 6 invariants alone, how
+// many operands an optimal swizzle-minimizing schedule routes through
+// the crossbar: each ALU lane position n can serve its own queue of
+// active groups unswizzled — at most once per compressed cycle — so the
+// swizzled remainder is popcount minus the sum over lanes of
+// min(queue length, optimal cycles).
+func SCCSwizzles(bits uint32, width, group int) int {
+	opt := (PopCount(bits, width) + group - 1) / group
+	if opt == 0 {
+		return 0
+	}
+	unswizzled := 0
+	for n := 0; n < group; n++ {
+		cnt := 0
+		for q := 0; q < Groups(width, group); q++ {
+			if laneOn(bits, width, q*group+n) {
+				cnt++
+			}
+		}
+		if cnt > opt {
+			cnt = opt
+		}
+		unswizzled += cnt
+	}
+	return PopCount(bits, width) - unswizzled
+}
+
+// FetchCounts returns how many operand group fetches a policy performs
+// and how many it suppresses (paper §4.2/§4.3): baseline fetches every
+// group; Ivy Bridge fetches only the live half when its half-mask rule
+// fires; BCC fetches only non-empty groups (the half-register datapath
+// of Fig. 5b); SCC performs a single full-width fetch into the operand
+// latch and so saves nothing.
+func FetchCounts(p int, bits uint32, width, group int) (fetched, saved int) {
+	full := Groups(width, group)
+	switch p {
+	case BCC:
+		fetched = ActiveGroups(bits, width, group)
+		return fetched, full - fetched
+	case IvyBridge:
+		if width == 16 && full >= 2 {
+			if halfOff(bits, width, true) {
+				// Upper half dead: the lower half's groups are fetched.
+				fetched = full / 2
+				return fetched, full - fetched
+			}
+			if halfOff(bits, width, false) {
+				fetched = full - full/2
+				return fetched, full - fetched
+			}
+		}
+		return full, 0
+	default: // Baseline, SCC
+		return full, 0
+	}
+}

@@ -1,0 +1,165 @@
+package oracle
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"intrawarp/internal/compaction"
+	"intrawarp/internal/mask"
+)
+
+// TestPolicyOrderPinned pins the model's policy indices to the engine's
+// compaction.Policy order by name and count. The package init panics on
+// the same mismatch, but a test failure names the drift readably.
+func TestPolicyOrderPinned(t *testing.T) {
+	if NumPolicies != compaction.NumPolicies {
+		t.Fatalf("model has %d policies, engine %d", NumPolicies, compaction.NumPolicies)
+	}
+	for i, p := range compaction.Policies {
+		if PolicyName(i) != p.String() {
+			t.Errorf("model policy %d is %q, engine is %q", i, PolicyName(i), p.String())
+		}
+	}
+}
+
+// TestModelVsEngineExhaustiveSIMD8 replays every SIMD8 mask through the
+// full per-record checker — all four cycle models, schedule invariants
+// (fresh and memoized), swizzle counts, fetch accounting — at every
+// group size the ISA produces (2 for 64-bit, 4 for 32-bit, 8 for 16-bit
+// types).
+func TestModelVsEngineExhaustiveSIMD8(t *testing.T) {
+	for _, group := range []int{1, 2, 4, 8} {
+		for raw := 0; raw <= 0xFF; raw++ {
+			if v := CheckRecord(raw, 8, group, mask.Mask(uint32(raw)), nil); v != nil {
+				t.Fatalf("group %d: %v", group, v)
+			}
+		}
+	}
+}
+
+// TestModelVsEngineExhaustiveSIMD16 does the same for all 65536 SIMD16
+// masks at the default 32-bit group size — the width the paper's Ivy
+// Bridge half-mask rule applies to, so both halves of that rule's
+// boundary are covered by construction.
+func TestModelVsEngineExhaustiveSIMD16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("65536-mask sweep")
+	}
+	for raw := 0; raw <= 0xFFFF; raw++ {
+		if v := CheckRecord(raw, 16, 4, mask.Mask(uint32(raw)), nil); v != nil {
+			t.Fatal(v)
+		}
+	}
+}
+
+// TestModelVsEngineRandomSIMD16SIMD32 samples the spaces too large to
+// enumerate with a fixed-seed generator, biased toward sparse and dense
+// masks (pure uniform masks are almost never nearly-empty, and the
+// compaction-relevant corner cases live there).
+func TestModelVsEngineRandomSIMD16SIMD32(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		raw := r.Uint32()
+		switch i % 4 {
+		case 1:
+			raw &= r.Uint32() // sparse
+		case 2:
+			raw |= r.Uint32() // dense
+		case 3:
+			raw &= r.Uint32() & r.Uint32() // very sparse
+		}
+		width := []int{16, 32}[i%2]
+		group := []int{2, 4, 8}[i%3]
+		m := mask.Mask(raw).Trunc(width)
+		if v := CheckRecord(i, width, group, m, nil); v != nil {
+			t.Fatal(v)
+		}
+	}
+}
+
+// TestIVBHalfMaskRule spells out the half-mask boundary the model must
+// reproduce: SIMD16 with a dead half runs at half the cycles, any other
+// width or shape does not.
+func TestIVBHalfMaskRule(t *testing.T) {
+	cases := []struct {
+		bits   uint32
+		width  int
+		cycles int
+	}{
+		{0x00FF, 16, 2},     // upper half dead
+		{0xFF00, 16, 2},     // lower half dead
+		{0x0001, 16, 2},     // one lane: still half, not quarter
+		{0x00FF, 8, 2},      // SIMD8: rule does not apply
+		{0x000000FF, 32, 8}, // SIMD32: rule does not apply
+		{0x01FF, 16, 4},     // one live lane in each half: full width
+		{0x0000, 16, 2},     // all dead: either half qualifies, rule fires
+		{0xFFFF, 16, 4},     // fully live
+	}
+	for _, c := range cases {
+		if got := IVBCycles(c.bits, c.width, 4); got != c.cycles {
+			t.Errorf("IVBCycles(%#x, %d, 4) = %d, want %d", c.bits, c.width, got, c.cycles)
+		}
+		if got := compaction.IvyBridge.Cycles(mask.Mask(c.bits), c.width, 4); got != c.cycles {
+			t.Errorf("engine IVB Cycles(%#x, %d, 4) = %d, want %d", c.bits, c.width, got, c.cycles)
+		}
+	}
+}
+
+// TestSCCSwizzlesClosedForm pins the model's swizzle counter on shapes
+// small enough to verify by hand against the paper's Fig. 6 walkthrough.
+func TestSCCSwizzlesClosedForm(t *testing.T) {
+	cases := []struct {
+		bits  uint32
+		width int
+		want  int
+	}{
+		{0x0000, 16, 0}, // nothing executes
+		{0xFFFF, 16, 0}, // full: every element home
+		{0x000F, 16, 0}, // one live quad, BCC-only
+		{0x1111, 16, 3}, // four elements share ALU lane 0's queue; 1 stays
+		{0x8421, 16, 0}, // diagonal: lanes 0,5,10,15 land on distinct ALU lanes
+		{0x00AA, 16, 2}, // lanes 1,3,5,7 queue pairwise on positions 1 and 3
+	}
+	for _, c := range cases {
+		if got := SCCSwizzles(c.bits, c.width, 4); got != c.want {
+			t.Errorf("SCCSwizzles(%#x, %d, 4) = %d, want %d", c.bits, c.width, got, c.want)
+		}
+		if got := compaction.SwizzleCount(mask.Mask(c.bits), c.width, 4); got != c.want {
+			t.Errorf("engine SwizzleCount(%#x, %d, 4) = %d, want %d", c.bits, c.width, got, c.want)
+		}
+	}
+}
+
+// TestCycleLadder verifies the ordering invariant of DESIGN.md §5 on a
+// deterministic sample: SCC ≤ BCC ≤ IVB ≤ Baseline for every mask.
+func TestCycleLadder(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		raw := r.Uint32() & r.Uint32()
+		width := []int{8, 16, 32}[i%3]
+		c := AllCycles(raw&(1<<uint(width)-1), width, 4)
+		if !(c[SCC] <= c[BCC] && c[BCC] <= c[IvyBridge] && c[IvyBridge] <= c[Baseline]) {
+			t.Fatalf("mask %#x width %d: cycle ladder violated: %v", raw, width, c)
+		}
+		if c[SCC] < 1 {
+			t.Fatalf("mask %#x width %d: below the 1-cycle issue minimum: %v", raw, width, c)
+		}
+	}
+}
+
+// TestPopCountAgrees cross-checks the model's loop-based popcount and
+// the stdlib's — the one place the model is allowed a redundant double
+// derivation, since everything else leans on it.
+func TestPopCountAgrees(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		raw := r.Uint32()
+		for _, width := range []int{4, 8, 16, 32} {
+			want := bits.OnesCount32(raw & (1<<uint(width) - 1))
+			if got := PopCount(raw, width); got != want {
+				t.Fatalf("PopCount(%#x, %d) = %d, want %d", raw, width, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Error-path behavior of the HTTP front end: timeouts mid-run, cancelled
+// clients sharing a flight, and the determinism guarantee the result
+// cache rests on. The happy paths live in serve_test.go.
+
+// TestDeadlineExceededMidRunDoesNotPoisonCache hits the per-request
+// deadline while a simulation is executing, then requires (a) a 504 for
+// the client, (b) no entry in the result cache for the doomed run —
+// cancelled simulations must never publish partial results — and (c) the
+// server remaining fully usable for an unrelated request afterwards.
+func TestDeadlineExceededMidRunDoesNotPoisonCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{Timeout: 50 * time.Millisecond})
+
+	// Long enough that the deadline fires mid-simulation, every time.
+	resp, data := post(t, ts, "/v1/run", `{"workload":"bsearch","timed":true,"size":600000}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504", resp.StatusCode, data)
+	}
+	m := waitMetrics(t, ts, 2*time.Second, func(m map[string]int64) bool { return m["in_flight"] == 0 })
+	if m["cache_entries"] != 0 {
+		t.Fatalf("cache holds %d entries after a timed-out run; a cancelled run must not be cached", m["cache_entries"])
+	}
+
+	// The server is still healthy: a request that fits the deadline
+	// completes and is cached.
+	resp, data = post(t, ts, "/v1/run", `{"workload":"bsearch"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up status = %d (%s), want 200", resp.StatusCode, data)
+	}
+	m = scrapeMetrics(t, ts)
+	if m["cache_entries"] != 1 {
+		t.Errorf("cache holds %d entries after one successful run, want 1", m["cache_entries"])
+	}
+}
+
+// TestCancelledWaiterDoesNotAbortSharedFlight coalesces two clients onto
+// one simulation and disconnects one of them mid-run: the survivor must
+// still receive the full 200 result from the single shared run — a
+// flight dies with its *last* waiter, not its first.
+func TestCancelledWaiterDoesNotAbortSharedFlight(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// A few hundred milliseconds of simulated work: long enough to
+	// cancel mid-run, short enough to keep the test quick.
+	body := `{"workload":"bsearch","timed":true,"size":60001}`
+
+	ctx, cancel := context.WithCancel(context.Background())
+	quitterErr := make(chan error, 1)
+	go func() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/run", bytes.NewBufferString(body))
+		if err != nil {
+			quitterErr <- err
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		quitterErr <- err
+	}()
+
+	waitMetrics(t, ts, 5*time.Second, func(m map[string]int64) bool { return m["in_flight"] == 1 })
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	survivor := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			survivor <- result{}
+			return
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		survivor <- result{status: resp.StatusCode, body: data}
+	}()
+
+	// The second client must join the same flight, not start a run.
+	waitMetrics(t, ts, 5*time.Second, func(m map[string]int64) bool { return m["coalesced_total"] == 1 })
+	cancel()
+	if err := <-quitterErr; err == nil {
+		t.Fatal("cancelled client received a response")
+	}
+
+	r := <-survivor
+	if r.status != http.StatusOK {
+		t.Fatalf("surviving waiter got status %d (%s), want 200", r.status, r.body)
+	}
+	m := scrapeMetrics(t, ts)
+	if m["simulations_total"] != 1 {
+		t.Errorf("simulations_total = %d, want 1 — the survivor must reuse the quitter's run", m["simulations_total"])
+	}
+}
+
+// TestCacheHitsByteIdenticalAcrossServers pins the content-addressing
+// guarantee end to end: a fresh server given the same request computes
+// byte-identical output (determinism across processes), and concurrent
+// cache hits on the original server all return exactly those bytes.
+func TestCacheHitsByteIdenticalAcrossServers(t *testing.T) {
+	body := `{"workload":"nw","timed":true,"policy":"scc","size":48}`
+
+	_, ts1 := newTestServer(t, Config{})
+	resp, fresh1 := post(t, ts1, "/v1/run", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("server 1 status %d: %s", resp.StatusCode, fresh1)
+	}
+
+	_, ts2 := newTestServer(t, Config{})
+	resp, fresh2 := post(t, ts2, "/v1/run", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("server 2 status %d: %s", resp.StatusCode, fresh2)
+	}
+	if !bytes.Equal(fresh1, fresh2) {
+		t.Fatal("two servers computed different bytes for the same request; the cache key promises determinism")
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	hits := make([][]byte, clients)
+	states := make([]string, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts1.URL+"/v1/run", "application/json", bytes.NewBufferString(body))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			hits[i], _ = io.ReadAll(resp.Body)
+			states[i] = resp.Header.Get("X-Cache")
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if states[i] != "hit" {
+			t.Errorf("client %d: X-Cache = %q, want hit", i, states[i])
+		}
+		if !bytes.Equal(hits[i], fresh1) {
+			t.Errorf("client %d: cached bytes differ from the fresh run", i)
+		}
+	}
+}

@@ -15,7 +15,7 @@ type metrics struct {
 	cacheMiss  atomic.Int64
 	coalesced  atomic.Int64 // requests that joined an existing flight
 	simRuns    atomic.Int64 // simulations actually executed
-	rejected   atomic.Int64 // 503s from the admission queue
+	rejected   atomic.Int64 // 429s from the admission queue
 	cancelled  atomic.Int64 // runs stopped by cancellation
 	errors     atomic.Int64 // non-cancellation simulation failures
 	queueDepth atomic.Int64 // requests waiting for a run slot

@@ -17,7 +17,9 @@
 //     stopping the simulation at its next workgroup boundary.
 //   - Admission is bounded: at most Concurrency simulations run at once
 //     and at most MaxQueue flights wait for a slot; beyond that the
-//     server sheds load with 503 instead of queueing without bound.
+//     server sheds load with 429 Too Many Requests (plus a Retry-After
+//     hint) instead of queueing without bound. 503 is reserved for the
+//     server itself going away mid-request (shutdown).
 package serve
 
 import (
@@ -251,7 +253,7 @@ func (s *Server) admitted(ctx context.Context, fn func(context.Context) (*respon
 	if depth := s.met.queueDepth.Add(1); depth > int64(s.cfg.MaxQueue) {
 		s.met.queueDepth.Add(-1)
 		s.met.rejected.Add(1)
-		return &response{status: http.StatusServiceUnavailable,
+		return &response{status: http.StatusTooManyRequests,
 			body: errorBody(errQueueFull)}, nil
 	}
 	select {
@@ -347,6 +349,10 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 func writeResult(w http.ResponseWriter, resp *response, cacheState string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", cacheState)
+	if resp.status == http.StatusTooManyRequests {
+		// Load shed, not failure: tell well-behaved clients when to retry.
+		w.Header().Set("Retry-After", "1")
+	}
 	w.WriteHeader(resp.status)
 	w.Write(resp.body)
 }

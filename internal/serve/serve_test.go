@@ -285,7 +285,8 @@ func TestRequestTimeout(t *testing.T) {
 
 // TestAdmissionQueueSheds fills the single run slot and the single
 // queue slot, then requires the third distinct request to be rejected
-// with 503 instead of queueing without bound.
+// with 429 Too Many Requests (and a Retry-After hint) instead of
+// queueing without bound.
 func TestAdmissionQueueSheds(t *testing.T) {
 	_, ts := newTestServer(t, Config{Concurrency: 1, MaxQueue: 1})
 	ctx, cancel := context.WithCancel(context.Background())
@@ -310,8 +311,11 @@ func TestAdmissionQueueSheds(t *testing.T) {
 	})
 
 	resp, data := post(t, ts, "/v1/run", `{"workload":"bsearch","timed":true,"size":500002}`)
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("status = %d (%s), want 503 from full queue", resp.StatusCode, data)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d (%s), want 429 from full queue", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response lacks a Retry-After hint")
 	}
 	m := scrapeMetrics(t, ts)
 	if m["rejected_total"] == 0 {

@@ -1,0 +1,32 @@
+package trace
+
+import "intrawarp/internal/eu"
+
+// RecordOf converts one functionally executed instruction into its trace
+// record — the single place the ExecResult→Record projection lives, so
+// the capture CLI, the verification harness, and tests agree on it.
+func RecordOf(res eu.ExecResult) Record {
+	return Record{
+		Width: uint8(res.Width),
+		Group: uint8(res.Group),
+		Pipe:  uint8(res.Pipe),
+		Mask:  res.Mask,
+	}
+}
+
+// Collector accumulates records in memory. Its Visit method matches the
+// functional engine's InstrVisitor signature, so it plugs directly into
+// gpu.RunFunctional / workloads.ExecOptions.Visit.
+type Collector struct {
+	Records []Record
+}
+
+// Visit appends the instruction's record.
+func (c *Collector) Visit(_, _ int, res eu.ExecResult) {
+	c.Records = append(c.Records, RecordOf(res))
+}
+
+// Source returns a fresh iterator over the collected records.
+func (c *Collector) Source() *SliceSource {
+	return &SliceSource{Records: c.Records}
+}

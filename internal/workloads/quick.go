@@ -1,0 +1,29 @@
+package workloads
+
+// quickSizes overrides problem sizes for fast sweeps (quick experiment
+// runs, the differential verification harness, CI); workloads not listed
+// use their defaults, which are already modest.
+var quickSizes = map[string]int{
+	"nw": 24, "hotspot": 32, "gauss": 16, "srad": 32,
+	"bfs": 256, "lavamd": 128, "particlefilter": 128, "kmeans": 256,
+	"pathfinder": 128, "backprop": 128,
+	"matmul": 16, "mvm": 32, "transpose": 32, "sobel": 34,
+	"vecadd": 512, "dotproduct": 512, "blackscholes": 256, "dct8": 256,
+	"mersenne": 256, "eigenvalue": 64, "bsearch": 256, "bitonic": 256,
+	"floydwarshall": 16, "binomial": 64, "boxfilter": 256, "fwht": 128,
+	"dwt-haar": 128, "montecarlo": 128, "urng": 256, "scan": 256,
+	"convolution": 256, "knn": 128, "dxtc": 128, "hmm": 128,
+}
+
+// QuickSize returns the reduced problem size of the quick sweep set for
+// a workload: its quickSizes entry, a flat 256 rays for ray tracers, or
+// 0 (the workload's own default) otherwise.
+func QuickSize(s *Spec) int {
+	if n, ok := quickSizes[s.Name]; ok {
+		return n
+	}
+	if s.Class == "raytrace" {
+		return 256
+	}
+	return 0
+}

@@ -114,6 +114,11 @@ type ExecOptions struct {
 	// repeating the reference computation on every cell only slows the
 	// hot path down.
 	SkipVerify bool
+	// Visit observes every functionally executed instruction across all
+	// of the workload's launches (trace capture, differential
+	// verification). A non-nil visitor forces the serial functional
+	// engine and is ignored by timed runs.
+	Visit gpu.InstrVisitor
 }
 
 // ExecuteOpts runs an instance to completion on g according to opts.
@@ -149,7 +154,7 @@ func ExecuteCtx(ctx context.Context, g *gpu.GPU, spec *Spec, opts ExecOptions) (
 		if opts.Timed {
 			r, err = g.RunCtx(ctx, *ls)
 		} else {
-			r, err = g.RunFunctionalCtx(ctx, *ls, nil)
+			r, err = g.RunFunctionalCtx(ctx, *ls, opts.Visit)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("workloads: %s launch %d: %w", spec.Name, iter, err)
