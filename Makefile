@@ -27,7 +27,7 @@ race:
 	$(GO) test -race ./...
 	$(GO) test -race -tags statsguard ./internal/stats/ ./internal/gpu/ ./internal/workloads/ ./internal/par/ ./internal/serve/
 
-.PHONY: build vet test race check bench verify fuzz-smoke
+.PHONY: build vet test race check bench verify fuzz-smoke timeline-smoke
 
 check: build vet test race
 
@@ -43,6 +43,18 @@ verify:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSCCSchedule -fuzztime $(FUZZTIME) ./internal/gpu/
 	$(GO) test -run '^$$' -fuzz FuzzMetamorphicCycles -fuzztime $(FUZZTIME) ./internal/compaction/
+
+# timeline-smoke captures a Perfetto timeline from a divergent workload
+# across all four policies, validates it with timelint (required keys,
+# monotonic per-track timestamps, paired async spans), and re-proves the
+# zero-alloc contract with the probes compiled in but disabled. CI
+# uploads the timeline as an artifact.
+TIMELINE ?= timeline.json
+
+timeline-smoke:
+	$(GO) run ./cmd/simd-sim -workload bfs -n 256 -compare -timeline $(TIMELINE)
+	$(GO) run ./cmd/timelint $(TIMELINE)
+	$(GO) test -run TestTimedExecutionZeroAlloc -count 1 ./internal/eu/
 
 # bench runs every benchmark with allocation reporting and converts the
 # output into $(BENCHOUT) (ns/op, B/op, allocs/op per benchmark) for the

@@ -13,6 +13,11 @@
 //	simd-bench -exp fig12 -cpuprofile cpu.out
 //	simd-bench -exp fig12 -memprofile mem.out
 //	simd-bench -exp fig12 -trace trace.out
+//
+// Simulated-machine timelines (one Chrome-trace process per sweep cell,
+// viewable in https://ui.perfetto.dev):
+//
+//	simd-bench -exp fig11 -quick -timeline fig11.json
 package main
 
 import (
@@ -44,6 +49,7 @@ func run() int {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
+		timeline   = flag.String("timeline", "", "write a Chrome-trace timeline of the simulated machines to this file")
 	)
 	flag.Parse()
 
@@ -107,6 +113,25 @@ func run() int {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeline != "" {
+		tl := intrawarp.NewTimeline()
+		ctx = intrawarp.ContextWithProbes(ctx, func(label string) intrawarp.Probe {
+			return tl.Run(label)
+		})
+		defer func() {
+			f, err := os.Create(*timeline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "simd-bench:", err)
+				return
+			}
+			defer f.Close()
+			if err := tl.WriteJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, "simd-bench:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "simd-bench: timeline written to %s\n", *timeline)
+		}()
+	}
 	var err error
 	switch {
 	case *all:

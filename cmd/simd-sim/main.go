@@ -6,6 +6,11 @@
 //	simd-sim -list
 //	simd-sim -workload bfs [-policy scc] [-n 1024] [-dc 2] [-perfect-l3]
 //	         [-functional] [-workers 4] [-disasm]
+//	simd-sim -workload bfs -compare -timeline bfs.json
+//
+// -timeline captures a Chrome-trace/Perfetto timeline of the run (one
+// process per policy under -compare) — open the file in
+// https://ui.perfetto.dev or chrome://tracing. See docs/observability.md.
 package main
 
 import (
@@ -31,6 +36,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "functional-engine worker pool size (0 = GOMAXPROCS)")
 		compare    = flag.Bool("compare", false, "run all four policies and compare timing")
 		jsonOut    = flag.Bool("json", false, "emit the run report as JSON")
+		timeline   = flag.String("timeline", "", "write a Chrome-trace/Perfetto timeline to this file")
 	)
 	flag.Parse()
 
@@ -56,6 +62,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	var tl *intrawarp.Timeline
+	if *timeline != "" {
+		tl = intrawarp.NewTimeline()
+	}
+	writeTimeline := func() {
+		if tl == nil {
+			return
+		}
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simd-sim:", err)
+			os.Exit(1)
+		}
+		if err := tl.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simd-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "simd-sim: timeline written to %s (open in https://ui.perfetto.dev)\n", *timeline)
+	}
+
 	mkGPU := func(p intrawarp.Policy) *intrawarp.GPU {
 		opts := []intrawarp.ConfigOption{
 			intrawarp.WithPolicy(p),
@@ -64,6 +95,9 @@ func main() {
 		}
 		if *perfectL3 {
 			opts = append(opts, intrawarp.WithPerfectL3())
+		}
+		if tl != nil {
+			opts = append(opts, intrawarp.WithProbe(tl.Run(spec.Name+"/"+p.String())))
 		}
 		g, err := intrawarp.NewGPU(opts...)
 		if err != nil {
@@ -96,6 +130,7 @@ func main() {
 			}
 			fmt.Printf("%-10s %-14d %-14d %-10s\n", p, run.TotalCycles, run.EUBusy, rel)
 		}
+		writeTimeline()
 		return
 	}
 
@@ -108,6 +143,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simd-sim:", err)
 		os.Exit(1)
 	}
+	writeTimeline()
 	if *jsonOut {
 		out, err := run.JSON()
 		if err != nil {

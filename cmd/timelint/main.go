@@ -1,0 +1,173 @@
+// Command timelint validates a Chrome-trace/Perfetto timeline produced by
+// the intrawarp observability layer (simd-sim -timeline, simd-bench
+// -timeline, or the serve API's ?timeline=1 payload).
+//
+// Usage:
+//
+//	timelint trace.json
+//	simd-sim -workload bfs -compare -timeline /dev/stdout 2>/dev/null | timelint -
+//
+// It checks the structural contract the exporter promises:
+//
+//   - the document is valid JSON with a traceEvents array
+//   - every event carries name, ph, pid, tid, and ts
+//   - metadata events ("M") precede all data events
+//   - within each (pid, tid) track, timestamps are non-decreasing
+//   - every async span begin ("b") has a matching end ("e") with the
+//     same (pid, tid, id) and a timestamp no earlier than the begin
+//   - durations on complete events ("X") are non-negative
+//
+// Exit status 0 means the file is well-formed; 1 means a violation was
+// found (each is reported on stderr); 2 means the input could not be
+// read or parsed at all.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// event is the subset of a Chrome-trace event timelint inspects. Pointer
+// fields distinguish "absent" from zero values.
+type event struct {
+	Name *string  `json:"name"`
+	Ph   *string  `json:"ph"`
+	PID  *int     `json:"pid"`
+	TID  *int     `json:"tid"`
+	TS   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+	ID   int      `json:"id"`
+}
+
+type document struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: timelint <trace.json | ->")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var data []byte
+	var err error
+	if name := flag.Arg(0); name == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(name)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "timelint:", err)
+		os.Exit(2)
+	}
+
+	problems, stats, err := lint(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "timelint:", err)
+		os.Exit(2)
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "timelint:", p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "timelint: %d problem(s) in %d event(s)\n", len(problems), stats.events)
+		os.Exit(1)
+	}
+	fmt.Printf("timelint: ok — %d events, %d processes, %d tracks, %d spans\n",
+		stats.events, stats.processes, stats.tracks, stats.spans)
+}
+
+type lintStats struct {
+	events, processes, tracks, spans int
+}
+
+// lint validates the trace document and returns the list of violations.
+// A non-nil error means the input is not parseable at all.
+func lint(data []byte) ([]string, lintStats, error) {
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, lintStats{}, fmt.Errorf("not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return nil, lintStats{}, fmt.Errorf("no traceEvents array")
+	}
+
+	var problems []string
+	report := func(format string, args ...any) {
+		// Cap the report so a badly broken file stays readable.
+		if len(problems) < 50 {
+			problems = append(problems, fmt.Sprintf(format, args...))
+		}
+	}
+
+	type track struct{ pid, tid int }
+	type span struct {
+		pid, tid, id int
+	}
+	lastTS := map[track]float64{}
+	open := map[span][]float64{} // begin timestamps awaiting an end
+	pids := map[int]bool{}
+	st := lintStats{events: len(doc.TraceEvents)}
+	sawData := false
+
+	for i, e := range doc.TraceEvents {
+		if e.Name == nil || e.Ph == nil || e.PID == nil || e.TID == nil || e.TS == nil {
+			report("event %d: missing one of name/ph/pid/tid/ts", i)
+			continue
+		}
+		pids[*e.PID] = true
+		if *e.Ph == "M" {
+			if sawData {
+				report("event %d: metadata %q after data events", i, *e.Name)
+			}
+			continue
+		}
+		sawData = true
+		k := track{*e.PID, *e.TID}
+		if last, seen := lastTS[k]; seen && *e.TS < last {
+			report("event %d (%s %q): ts %v before %v on track pid=%d tid=%d",
+				i, *e.Ph, *e.Name, *e.TS, last, k.pid, k.tid)
+		}
+		lastTS[k] = *e.TS
+
+		switch *e.Ph {
+		case "X":
+			if e.Dur != nil && *e.Dur < 0 {
+				report("event %d (%q): negative dur %v", i, *e.Name, *e.Dur)
+			}
+		case "b":
+			st.spans++
+			s := span{*e.PID, *e.TID, e.ID}
+			open[s] = append(open[s], *e.TS)
+		case "e":
+			s := span{*e.PID, *e.TID, e.ID}
+			begins := open[s]
+			if len(begins) == 0 {
+				report("event %d (%q): span end without begin (pid=%d tid=%d id=%d)",
+					i, *e.Name, s.pid, s.tid, s.id)
+				break
+			}
+			if begin := begins[0]; *e.TS < begin {
+				report("event %d (%q): span ends at %v before begin %v", i, *e.Name, *e.TS, begin)
+			}
+			open[s] = begins[1:]
+		}
+	}
+	for s, begins := range open {
+		if len(begins) > 0 {
+			report("unclosed span pid=%d tid=%d id=%d (%d begin(s) without end)",
+				s.pid, s.tid, s.id, len(begins))
+		}
+	}
+	st.processes = len(pids)
+	st.tracks = len(lastTS)
+	return problems, st, nil
+}

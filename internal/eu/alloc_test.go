@@ -36,11 +36,16 @@ var timedAllocMasks = []mask.Mask{0xAAAA, 0x5555, 0xF0F0, 0x137F, 0x8001, 0xFFFF
 // TestTimedExecutionZeroAlloc is the tentpole regression test: once the
 // schedule cache and all scratch buffers are warm, a full timed simulation
 // of a divergent cached-mask instruction stream must perform zero heap
-// allocations.
+// allocations — with the observability layer compiled in but disabled.
+// Every probe site in the EU is nil-guarded; this test proves the
+// disabled fast path builds no event values and boxes no interfaces.
 func TestTimedExecutionZeroAlloc(t *testing.T) {
 	p := divergentLoopProgram(24)
 	e, sys := newTestEU(compaction.SCC)
 	e.Cfg.Arbiter = ArbiterAgeBased // cover the sorting arbiter too
+	if e.probe != nil {
+		t.Fatal("test requires the probes-disabled configuration")
+	}
 	run := stats.NewRun("alloc", 16)
 
 	simulate := func() {

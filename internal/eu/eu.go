@@ -5,7 +5,9 @@ import (
 
 	"intrawarp/internal/compaction"
 	"intrawarp/internal/isa"
+	"intrawarp/internal/mask"
 	"intrawarp/internal/memory"
+	"intrawarp/internal/obs"
 	"intrawarp/internal/stats"
 )
 
@@ -36,6 +38,12 @@ type Config struct {
 	// it would mean the modeled hardware control logic and the timing
 	// model disagree. Slower; intended for verification runs.
 	ValidateSCC bool
+
+	// Probe receives instrumentation events (issues, stall windows,
+	// compaction decisions, SEND completions). Nil — the default — keeps
+	// the timed loop on its zero-allocation fast path: every probe site
+	// is one untaken branch.
+	Probe obs.Probe
 }
 
 // ArbiterPolicy selects how ready threads are prioritized for issue.
@@ -104,11 +112,14 @@ type EU struct {
 	// Windows attributes every arbitration window to an outcome
 	// (stats.StallKind): issued, idle, or the dominant stall reason.
 	Windows [stats.NumStallKinds]int64
+
+	// probe mirrors Cfg.Probe; nil disables instrumentation.
+	probe obs.Probe
 }
 
 // New creates an EU with idle threads attached to the given memory system.
 func New(id int, cfg Config, mem *memory.System) *EU {
-	e := &EU{ID: id, Cfg: cfg, mem: mem, wbMin: noWB}
+	e := &EU{ID: id, Cfg: cfg, mem: mem, wbMin: noWB, probe: cfg.Probe}
 	e.Threads = make([]*Thread, cfg.ThreadsPerEU)
 	e.sb = make([][]span, cfg.ThreadsPerEU)
 	e.flagBusy = make([][2]int, cfg.ThreadsPerEU)
@@ -255,19 +266,24 @@ func (e *EU) Tick(now int64) {
 		e.issue(ti, now)
 		issued++
 	}
+	var kind stats.StallKind
 	switch {
 	case issued > 0:
-		e.Windows[stats.WinIssued]++
+		kind = stats.WinIssued
 	case sawMemory:
-		e.Windows[stats.WinMemory]++
+		kind = stats.WinMemory
 	case sawScoreboard:
-		e.Windows[stats.WinScoreboard]++
+		kind = stats.WinScoreboard
 	case sawPipe:
-		e.Windows[stats.WinPipe]++
+		kind = stats.WinPipe
 	case sawFrontend:
-		e.Windows[stats.WinFrontend]++
+		kind = stats.WinFrontend
 	default:
-		e.Windows[stats.WinIdle]++
+		kind = stats.WinIdle
+	}
+	e.Windows[kind]++
+	if e.probe != nil {
+		e.probe.Window(e.ID, now, kind)
 	}
 	e.nextArb = (e.nextArb + 1) % n
 }
@@ -317,6 +333,25 @@ func (e *EU) issue(ti int, now int64) {
 			}
 		}
 
+		if e.probe != nil {
+			e.probe.InstrIssued(obs.IssueEvent{
+				EU: e.ID, Thread: ti, Cycle: now, Start: start, Cycles: cycles,
+				Op: in.Op.String(), Pipe: uint8(res.Pipe),
+				Active: res.Mask.Trunc(res.Width).PopCount(), Width: res.Width,
+			})
+			full := mask.QuadCount(res.Width, res.Group)
+			swz := 0
+			if e.Cfg.Policy == compaction.SCC {
+				swz = compaction.ScheduleFor(res.Mask, res.Width, res.Group).Swizzles()
+			}
+			e.probe.CompactionDecision(obs.CompactionEvent{
+				EU: e.ID, Thread: ti, Cycle: now, Policy: e.Cfg.Policy.String(),
+				Mask: uint32(res.Mask.Trunc(res.Width)), Width: res.Width, Group: res.Group,
+				Cycles: cycles, QuadsDone: int(cycles), QuadsSkipped: full - int(cycles), Swizzles: swz,
+			})
+			e.emitQuads(ti, res, start)
+		}
+
 		ev := wbEvent{at: start + int64(e.Cfg.PipeDepth) + cycles, thread: ti, flag: -1}
 		if s, ok := operandSpan(in.Dst, res.Width, in.DType.Size()); ok {
 			ev.dst, ev.hasDst = s, true
@@ -335,10 +370,24 @@ func (e *EU) issue(ti int, now int64) {
 		switch {
 		case res.IsBarrier:
 			// Thread parked; the GPU releases the workgroup.
+			if e.probe != nil {
+				e.probe.InstrIssued(obs.IssueEvent{
+					EU: e.ID, Thread: ti, Cycle: now, Start: now, Cycles: 1,
+					Op: in.Op.String(), Pipe: uint8(res.Pipe),
+					Active: res.Mask.Trunc(res.Width).PopCount(), Width: res.Width,
+				})
+			}
 		case res.Instr.Send.IsSLM() || (res.Instr.Send == isa.SendNone && res.Instr.Op == isa.OpFence):
 			ready := now + 1
 			if len(res.SLMOffsets) > 0 {
 				ready = e.mem.SLMReady(th.SLM, res.SLMOffsets, now)
+			}
+			if e.probe != nil {
+				e.probe.InstrIssued(obs.IssueEvent{
+					EU: e.ID, Thread: ti, Cycle: now, Start: now, Cycles: ready - now,
+					Op: in.Op.String(), Pipe: uint8(res.Pipe),
+					Active: res.Mask.Trunc(res.Width).PopCount(), Width: res.Width,
+				})
 			}
 			e.scheduleSendWB(ti, in, res, ready)
 		default:
@@ -349,6 +398,14 @@ func (e *EU) issue(ti int, now int64) {
 				e.sb[ti] = append(e.sb[ti], s)
 				c.dst, c.hasDst = s, true
 			}
+			if e.probe != nil {
+				e.probe.InstrIssued(obs.IssueEvent{
+					EU: e.ID, Thread: ti, Cycle: now, Start: now, Cycles: 1,
+					Op: in.Op.String(), Pipe: uint8(res.Pipe),
+					Active: res.Mask.Trunc(res.Width).PopCount(), Width: res.Width,
+				})
+				c.issued, c.lines = now, len(res.Lines)
+			}
 			// Stores consume data-cluster bandwidth but retire immediately
 			// from the thread's perspective (no destination to clear).
 			e.outstanding[ti]++
@@ -357,24 +414,86 @@ func (e *EU) issue(ti int, now int64) {
 	}
 }
 
+// emitQuads reports the per-cycle lane schedule of one compressed ALU
+// instruction (obs.QuadEvent per execution cycle). It mirrors the cycle
+// accounting of Policy.Cycles so the emitted schedule length equals the
+// charged occupancy. Only called with a probe attached; allocates nothing
+// except under SCC, where the crossbar schedule is materialized.
+func (e *EU) emitQuads(ti int, res ExecResult, start int64) {
+	m := res.Mask.Trunc(res.Width)
+	n := mask.QuadCount(res.Width, res.Group)
+	idx := 0
+	emit := func(lanes uint32) {
+		e.probe.QuadScheduled(obs.QuadEvent{EU: e.ID, Thread: ti, Cycle: start + int64(idx), Index: idx, Lanes: lanes})
+		idx++
+	}
+	quad := func(q int) uint32 { return uint32(m.Quad(q, res.Group)) << uint(q*res.Group) }
+	switch e.Cfg.Policy {
+	case compaction.SCC:
+		s := compaction.ScheduleFor(m, res.Width, res.Group)
+		for _, cyc := range s.Cycles {
+			var lanes uint32
+			for _, a := range cyc {
+				if a.Enabled {
+					lanes |= 1 << uint(int(a.Quad)*res.Group+int(a.SrcLane))
+				}
+			}
+			emit(lanes)
+		}
+	case compaction.BCC:
+		for q := 0; q < n; q++ {
+			if lanes := quad(q); lanes != 0 {
+				emit(lanes)
+			}
+		}
+	case compaction.IvyBridge:
+		lo, hi := 0, n
+		if res.Width == 16 && n >= 2 {
+			// The inferred SIMD16 half-off optimization (paper §5.2).
+			if m.UpperHalfOff(res.Width) {
+				hi = n / 2
+			} else if m.LowerHalfOff(res.Width) {
+				lo = n / 2
+			}
+		}
+		for q := lo; q < hi; q++ {
+			emit(quad(q))
+		}
+	default:
+		for q := 0; q < n; q++ {
+			emit(quad(q))
+		}
+	}
+	if idx == 0 {
+		emit(0) // an empty mask still occupies one issue slot
+	}
+}
+
 // sendComp is the completion record of one global-memory SEND. It
 // implements memory.Done; instances are recycled through EU.compFree so
-// steady-state SEND traffic allocates nothing.
+// steady-state SEND traffic allocates nothing. With a probe attached,
+// issued and lines carry the request's dispatch context to the
+// SendCompleted event.
 type sendComp struct {
 	e      *EU
 	ti     int
 	dst    span
 	hasDst bool
+	issued int64
+	lines  int
 }
 
 // LinesReady implements memory.Done: it releases the load destination (if
 // any), retires the outstanding request, and returns itself to the pool.
-func (c *sendComp) LinesReady(int64) {
+func (c *sendComp) LinesReady(ready int64) {
 	if c.hasDst {
 		c.e.clearSpan(c.ti, c.dst)
 	}
 	c.e.outstanding[c.ti]--
 	c.hasDst = false
+	if c.e.probe != nil {
+		c.e.probe.SendCompleted(obs.SendEvent{EU: c.e.ID, Thread: c.ti, Issued: c.issued, Completed: ready, Lines: c.lines})
+	}
 	c.e.compFree = append(c.e.compFree, c)
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"intrawarp/internal/compaction"
 	"intrawarp/internal/gpu"
+	"intrawarp/internal/obs"
 	"intrawarp/internal/par"
 	"intrawarp/internal/stats"
 	"intrawarp/internal/trace"
@@ -27,6 +28,13 @@ func timedRun(ctx context.Context, s *workloads.Spec, p compaction.Policy, dcBW 
 	cfg := gpu.DefaultConfig().WithPolicy(p)
 	cfg.Mem.DCLinesPerCycle = dcBW
 	cfg.Mem.PerfectL3 = perfectL3
+	if factory := obs.ProbesFrom(ctx); factory != nil {
+		label := fmt.Sprintf("%s/%s/dc%d", s.Name, p, dcBW)
+		if perfectL3 {
+			label += "/pl3"
+		}
+		cfg.EU.Probe = factory(label)
+	}
 	g := gpu.New(cfg)
 	return workloads.ExecuteCtx(ctx, g, s, workloads.ExecOptions{Size: n, Timed: true, SkipVerify: !verify})
 }

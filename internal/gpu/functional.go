@@ -7,6 +7,7 @@ import (
 	"intrawarp/internal/eu"
 	"intrawarp/internal/isa"
 	"intrawarp/internal/memory"
+	"intrawarp/internal/obs"
 	"intrawarp/internal/par"
 	"intrawarp/internal/stats"
 )
@@ -21,11 +22,22 @@ type InstrVisitor func(wg, thread int, res eu.ExecResult)
 // detached pool of thread contexts, accumulating into run. Threads are
 // interleaved one instruction at a time, which resolves barriers and
 // keeps intra-workgroup atomics deterministic.
-func (g *GPU) runWorkgroup(pool []*eu.Thread, spec *LaunchSpec, wg int, run *stats.Run, visit InstrVisitor) error {
+//
+// A non-nil probe receives per-instruction obs events. The functional
+// engine has no clock; instruction indices stand in for cycles, offset by
+// stepBase so a serial run's event stream is monotonic across workgroups.
+// The executed step count is returned for that accumulation.
+func (g *GPU) runWorkgroup(pool []*eu.Thread, spec *LaunchSpec, wg int, run *stats.Run, visit InstrVisitor, probe obs.Probe, stepBase int64) (int64, error) {
 	const maxSteps = 1 << 32
 	slm := memory.NewSLM(g.Cfg.Mem.SLMBytes, g.Cfg.Mem.SLMBanks)
 	for t := range pool {
 		initThread(pool[t], spec, wg, t, slm, run)
+	}
+	// The functional engine has no EUs; fold workgroups onto the
+	// configured EU count so timelines keep a familiar track layout.
+	pseudoEU := wg % g.Cfg.NumEUs
+	if probe != nil {
+		probe.WorkgroupDispatched(obs.WGEvent{EU: pseudoEU, WG: wg, Cycle: stepBase, Threads: len(pool)})
 	}
 	var steps int64
 	for {
@@ -37,6 +49,14 @@ func (g *GPU) runWorkgroup(pool []*eu.Thread, spec *LaunchSpec, wg int, run *sta
 			res := th.Step(g.Mem.Mem)
 			if visit != nil {
 				visit(wg, ti, res)
+			}
+			if probe != nil {
+				ts := stepBase + steps
+				probe.InstrIssued(obs.IssueEvent{
+					EU: pseudoEU, Thread: ti, Cycle: ts, Start: ts, Cycles: 1,
+					Op: res.Instr.Op.String(), Pipe: uint8(res.Pipe),
+					Active: res.Mask.Trunc(res.Width).PopCount(), Width: res.Width,
+				})
 			}
 			steps++
 			progressed = true
@@ -60,13 +80,16 @@ func (g *GPU) runWorkgroup(pool []*eu.Thread, spec *LaunchSpec, wg int, run *sta
 			progressed = true
 		}
 		if done == len(pool) {
-			return nil
+			if probe != nil {
+				probe.WorkgroupRetired(wg, stepBase+steps)
+			}
+			return steps, nil
 		}
 		if !progressed {
-			return fmt.Errorf("gpu: kernel %s: functional deadlock in workgroup %d", spec.Kernel.Name, wg)
+			return steps, fmt.Errorf("gpu: kernel %s: functional deadlock in workgroup %d", spec.Kernel.Name, wg)
 		}
 		if steps > maxSteps {
-			return fmt.Errorf("gpu: kernel %s: functional run exceeded %d steps", spec.Kernel.Name, int64(maxSteps))
+			return steps, fmt.Errorf("gpu: kernel %s: functional run exceeded %d steps", spec.Kernel.Name, int64(maxSteps))
 		}
 	}
 }
@@ -105,20 +128,33 @@ func (g *GPU) RunFunctionalCtx(ctx context.Context, spec LaunchSpec, visit Instr
 	if workers > numWGs {
 		workers = numWGs
 	}
+	probe := g.Cfg.EU.Probe
 	if visit != nil || workers <= 1 {
 		// Serial path: one thread-context pool, reused across workgroups,
 		// all accumulating directly into run.
+		if probe != nil {
+			probe.LaunchBegin(obs.LaunchEvent{
+				Engine: "functional", Kernel: spec.Kernel.Name,
+				Policy: g.Cfg.EU.Policy.String(), Width: spec.Kernel.Width.Lanes(),
+			})
+		}
 		pool := make([]*eu.Thread, threadsPerWG)
 		for i := range pool {
 			pool[i] = &eu.Thread{}
 		}
+		var steps int64
 		for wg := 0; wg < numWGs; wg++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			if err := g.runWorkgroup(pool, &spec, wg, run, visit); err != nil {
+			n, err := g.runWorkgroup(pool, &spec, wg, run, visit, probe, steps)
+			if err != nil {
 				return nil, err
 			}
+			steps += n
+		}
+		if probe != nil {
+			probe.LaunchEnd(steps)
 		}
 		return run, nil
 	}
@@ -136,14 +172,25 @@ func (g *GPU) RunFunctionalCtx(ctx context.Context, spec LaunchSpec, visit Instr
 			pools[w][i] = &eu.Thread{}
 		}
 	}
+	if probe != nil {
+		probe.LaunchBegin(obs.LaunchEvent{
+			Engine: "functional-parallel", Kernel: spec.Kernel.Name,
+			Policy: g.Cfg.EU.Policy.String(), Width: spec.Kernel.Width.Lanes(),
+		})
+	}
 	g.Mem.Mem.SetShared(true)
+	var totalSteps int64
+	stepCounts := make([]int64, numWGs)
 	par.ForWorker(workers, numWGs, func(worker, wg int) {
 		if err := ctx.Err(); err != nil {
 			errs[wg] = err
 			return
 		}
 		shard := stats.NewRun(spec.Kernel.Name, spec.Kernel.Width.Lanes())
-		errs[wg] = g.runWorkgroup(pools[worker], &spec, wg, shard, nil)
+		// Workgroups run concurrently, so instruction indices are local to
+		// each workgroup; a probe attached here must be safe for concurrent
+		// use (obs.Timeline is) and orders events by timestamp at export.
+		stepCounts[wg], errs[wg] = g.runWorkgroup(pools[worker], &spec, wg, shard, nil, probe, 0)
 		shard.Release()
 		shards[wg] = shard
 	})
@@ -153,7 +200,11 @@ func (g *GPU) RunFunctionalCtx(ctx context.Context, spec LaunchSpec, visit Instr
 		if errs[wg] != nil {
 			return nil, errs[wg]
 		}
+		totalSteps += stepCounts[wg]
 		run.Merge(shards[wg])
+	}
+	if probe != nil {
+		probe.LaunchEnd(totalSteps)
 	}
 	return run, nil
 }

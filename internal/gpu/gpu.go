@@ -16,6 +16,7 @@ import (
 	"intrawarp/internal/isa"
 	"intrawarp/internal/mask"
 	"intrawarp/internal/memory"
+	"intrawarp/internal/obs"
 	"intrawarp/internal/stats"
 )
 
@@ -290,6 +291,13 @@ func (g *GPU) RunCtx(ctx context.Context, spec LaunchSpec) (*stats.Run, error) {
 	for _, e := range g.EUs {
 		e.BeginLaunch()
 	}
+	probe := g.Cfg.EU.Probe
+	if probe != nil {
+		probe.LaunchBegin(obs.LaunchEvent{
+			Engine: "timed", Kernel: spec.Kernel.Name,
+			Policy: g.Cfg.EU.Policy.String(), Width: spec.Kernel.Width.Lanes(),
+		})
+	}
 
 	nextWG := 0
 	live := g.live[:0]
@@ -314,6 +322,9 @@ func (g *GPU) RunCtx(ctx context.Context, spec LaunchSpec) (*stats.Run, error) {
 					th := e.Threads[g.slots[t]]
 					initThread(th, &spec, nextWG, t, wg.slm, run)
 					wg.members = append(wg.members, th)
+				}
+				if probe != nil {
+					probe.WorkgroupDispatched(obs.WGEvent{EU: e.ID, WG: nextWG, Cycle: cycle, Threads: threadsPerWG})
 				}
 				live = append(live, wg)
 				nextWG++
@@ -350,6 +361,9 @@ func (g *GPU) RunCtx(ctx context.Context, spec LaunchSpec) (*stats.Run, error) {
 				live[i] = live[len(live)-1]
 				live[len(live)-1] = nil
 				live = live[:len(live)-1]
+				if probe != nil {
+					probe.WorkgroupRetired(wg.id, cycle)
+				}
 				g.putWorkgroup(wg)
 				continue
 			}
@@ -384,6 +398,9 @@ func (g *GPU) RunCtx(ctx context.Context, spec LaunchSpec) (*stats.Run, error) {
 	}
 
 	g.live = live[:0] // hand the grown backing array to the next launch
+	if probe != nil {
+		probe.LaunchEnd(cycle)
+	}
 	run.TotalCycles = cycle
 	for _, e := range g.EUs {
 		run.EUBusy += e.Busy

@@ -17,6 +17,11 @@ type flight struct {
 	err     error
 	waiters int // guarded by the group mutex
 	cancel  context.CancelFunc
+
+	// stages holds the leader-measured durations of the flight's inner
+	// stages. Written only by the leader before done closes; waiters read
+	// it after <-done, which orders the accesses.
+	stages stageRecord
 }
 
 // flightGroup coalesces concurrent identical requests onto one flight.

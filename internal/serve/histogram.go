@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// histogram is a fixed-bucket Prometheus histogram: lock-free observe,
+// rendered in the classic cumulative _bucket/_sum/_count text form. The
+// stdlib has no client library and the server depends on nothing else,
+// so this is hand-rolled like the rest of metrics.go.
+type histogram struct {
+	bounds []float64      // inclusive upper bounds; +Inf is implicit
+	counts []atomic.Int64 // len(bounds)+1, last is the overflow bucket
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds ...float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// observe records one value.
+func (h *histogram) observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// render writes the series under simd_serve_<name> with cumulative
+// buckets, as scrapers expect.
+func (h *histogram) render(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP simd_serve_%s %s\n# TYPE simd_serve_%s histogram\n", name, help, name)
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "simd_serve_%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "simd_serve_%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "simd_serve_%s_sum %g\n", name, math.Float64frombits(h.sum.Load()))
+	fmt.Fprintf(w, "simd_serve_%s_count %d\n", name, cum)
+}
+
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }
+
+// latencyBounds are the stage-latency bucket bounds in seconds: sub-ms
+// cache-adjacent work through multi-second timed sweeps.
+func latencyBounds() []float64 {
+	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+}
+
+// efficiencyBounds bucket per-run SIMD efficiency in tenths.
+func efficiencyBounds() []float64 {
+	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1}
+}

@@ -31,6 +31,12 @@ type RunRequest struct {
 	PerfectL3 bool `json:"perfectL3,omitempty"`
 	// SkipVerify drops the host-side result check.
 	SkipVerify bool `json:"skipVerify,omitempty"`
+	// Timeline embeds a Chrome-trace/Perfetto timeline of the run in the
+	// response (also settable as ?timeline=1 on the request URL). It
+	// changes the response bytes, so unlike Workers it is part of the
+	// cache key; timeline runs force the serial functional engine so the
+	// recorded event stream is deterministic.
+	Timeline bool `json:"timeline,omitempty"`
 	// Workers bounds the functional engine's worker pool. It is a
 	// scheduling knob — results are bit-identical at any worker count —
 	// so it is excluded from the cache key.

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"time"
@@ -35,6 +36,7 @@ import (
 	"intrawarp/internal/compaction"
 	"intrawarp/internal/experiments"
 	"intrawarp/internal/gpu"
+	"intrawarp/internal/obs"
 	"intrawarp/internal/workloads"
 )
 
@@ -52,6 +54,9 @@ type Config struct {
 	Timeout time.Duration
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// Logger receives one structured line per request (trace ID, route,
+	// cache state, per-stage spans). Nil selects slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +91,7 @@ type Server struct {
 	flights *flightGroup
 	slots   chan struct{}
 	met     metrics
+	log     *slog.Logger
 
 	base   context.Context
 	cancel context.CancelFunc
@@ -101,9 +107,14 @@ func New(cfg Config) *Server {
 		cache:   newCache(cfg.CacheEntries),
 		flights: newFlightGroup(),
 		slots:   make(chan struct{}, cfg.Concurrency),
+		log:     cfg.Logger,
 		base:    base,
 		cancel:  cancel,
 	}
+	if s.log == nil {
+		s.log = slog.Default()
+	}
+	s.met.init()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
@@ -157,41 +168,51 @@ func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	tr := startTrace(r)
 	var req RunRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
+	if q := r.URL.Query().Get("timeline"); q == "1" || q == "true" {
+		req.Timeline = true
+	}
 	if err := req.normalize(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.finishError(w, tr, "run", http.StatusBadRequest, err)
 		return
 	}
-	s.serveCached(w, r, req.key(), func(ctx context.Context) (*response, error) {
+	s.serveCached(w, r, tr, "run", req.key(), func(ctx context.Context) (*response, error) {
 		return s.executeRun(ctx, &req)
 	})
 }
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	tr := startTrace(r)
 	var req ExperimentRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
 	if err := req.normalize(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.finishError(w, tr, "experiment", http.StatusBadRequest, err)
 		return
 	}
-	s.serveCached(w, r, req.key(), func(ctx context.Context) (*response, error) {
+	s.serveCached(w, r, tr, "experiment", req.key(), func(ctx context.Context) (*response, error) {
 		return s.executeExperiment(ctx, &req)
 	})
 }
 
 // serveCached is the common request path: result cache, then flight
-// coalescing, then bounded admission into a run slot.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
+// coalescing, then bounded admission into a run slot. Every exit goes
+// through finish/finishError so each request gets its trace headers,
+// latency observation, and structured log line.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, tr *requestTrace, route, key string,
 	fn func(context.Context) (*response, error)) {
 	s.met.requests.Add(1)
-	if body, ok := s.cache.get(key); ok {
+	var body []byte
+	var hit bool
+	tr.stage("cache", func() { body, hit = s.cache.get(key) })
+	if hit {
 		s.met.cacheHits.Add(1)
-		writeResult(w, &response{status: http.StatusOK, body: body}, "hit")
+		s.finish(w, tr, route, "hit", &response{status: http.StatusOK, body: body})
 		return
 	}
 	s.met.cacheMiss.Add(1)
@@ -212,7 +233,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 			if body, ok := s.cache.get(key); ok {
 				return &response{status: http.StatusOK, body: body}, nil
 			}
-			resp, err := s.admitted(runCtx, fn)
+			resp, err := s.admitted(withStages(runCtx, &f.stages), fn)
 			if err == nil && resp.status == http.StatusOK {
 				s.cache.add(key, resp.body)
 			}
@@ -222,8 +243,15 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		s.met.coalesced.Add(1)
 	}
 
+	waitStart := time.Now()
 	select {
 	case <-f.done:
+		tr.add("wait", time.Since(waitStart))
+		// The leader's inner stages are set before done closes; surface
+		// them on every coalesced waiter too — they paid the same wait.
+		tr.add("queue", f.stages.Queue)
+		tr.add("run", f.stages.Run)
+		tr.add("encode", f.stages.Encode)
 		s.flights.leave(key, f)
 		if f.err != nil {
 			// Cancellation reached the flight only because every waiter
@@ -233,15 +261,41 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 			if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
 				status = http.StatusServiceUnavailable
 			}
-			writeError(w, status, f.err)
+			s.finishError(w, tr, route, status, f.err)
 			return
 		}
-		writeResult(w, f.result, "miss")
+		s.finish(w, tr, route, "miss", f.result)
 	case <-reqCtx.Done():
+		tr.add("wait", time.Since(waitStart))
 		s.flights.leave(key, f)
 		s.met.cancelled.Add(1)
-		writeError(w, http.StatusGatewayTimeout, reqCtx.Err())
+		s.finishError(w, tr, route, http.StatusGatewayTimeout, reqCtx.Err())
 	}
+}
+
+// finish sends a computed result with the request's trace headers, then
+// records its latency and log line.
+func (s *Server) finish(w http.ResponseWriter, tr *requestTrace, route, cacheState string, resp *response) {
+	w.Header().Set(traceIDHeader, tr.id)
+	if st := tr.serverTiming(); st != "" {
+		w.Header().Set("Server-Timing", st)
+	}
+	writeResult(w, resp, cacheState)
+	s.met.request.observe(time.Since(tr.start).Seconds())
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "request",
+		tr.logAttrs(route, cacheState, resp.status)...)
+}
+
+// finishError is finish for the error paths.
+func (s *Server) finishError(w http.ResponseWriter, tr *requestTrace, route string, status int, err error) {
+	w.Header().Set(traceIDHeader, tr.id)
+	if st := tr.serverTiming(); st != "" {
+		w.Header().Set("Server-Timing", st)
+	}
+	writeError(w, status, err)
+	s.met.request.observe(time.Since(tr.start).Seconds())
+	s.log.LogAttrs(context.Background(), slog.LevelWarn, "request failed",
+		append(tr.logAttrs(route, "miss", status), slog.String("error", err.Error()))...)
 }
 
 // errQueueFull sheds load once MaxQueue flights are already waiting.
@@ -256,9 +310,15 @@ func (s *Server) admitted(ctx context.Context, fn func(context.Context) (*respon
 		return &response{status: http.StatusTooManyRequests,
 			body: errorBody(errQueueFull)}, nil
 	}
+	queueStart := time.Now()
 	select {
 	case s.slots <- struct{}{}:
 		s.met.queueDepth.Add(-1)
+		wait := time.Since(queueStart)
+		s.met.queueWait.observe(wait.Seconds())
+		if rec := stagesFrom(ctx); rec != nil {
+			rec.Queue = wait
+		}
 	case <-ctx.Done():
 		s.met.queueDepth.Add(-1)
 		s.met.cancelled.Add(1)
@@ -295,6 +355,16 @@ func (s *Server) executeRun(ctx context.Context, req *RunRequest) (*response, er
 	cfg.Mem.DCLinesPerCycle = req.DCLinesPerCycle
 	cfg.Mem.PerfectL3 = req.PerfectL3
 	cfg.Workers = req.Workers
+	var tl *obs.Timeline
+	if req.Timeline {
+		tl = obs.NewTimeline()
+		cfg.EU.Probe = tl.Run(req.Workload + "/" + req.Policy)
+		// Responses are content-addressed: force the serial functional
+		// engine so the recorded event order — and therefore the cached
+		// bytes — never depends on worker scheduling.
+		cfg.Workers = 1
+	}
+	runStart := time.Now()
 	run, err := workloads.ExecuteCtx(ctx, gpu.New(cfg), spec, workloads.ExecOptions{
 		Size:       req.Size,
 		Timed:      req.Timed,
@@ -303,20 +373,57 @@ func (s *Server) executeRun(ctx context.Context, req *RunRequest) (*response, er
 	if err != nil {
 		return nil, err
 	}
-	body, err := json.Marshal(struct {
-		Request *RunRequest `json:"request"`
-		Report  any         `json:"report"`
-	}{req, run.Report()})
+	s.observeRun(ctx, runStart, run.SIMDEfficiency(), true)
+
+	encStart := time.Now()
+	payload := struct {
+		Request  *RunRequest     `json:"request"`
+		Report   any             `json:"report"`
+		Timeline json.RawMessage `json:"timeline,omitempty"`
+	}{Request: req, Report: run.Report()}
+	if tl != nil {
+		tlBody, err := tl.JSON()
+		if err != nil {
+			return nil, err
+		}
+		payload.Timeline = tlBody
+	}
+	body, err := json.Marshal(payload)
 	if err != nil {
 		return nil, err
 	}
+	s.observeEncode(ctx, encStart)
 	return &response{status: http.StatusOK, body: body}, nil
+}
+
+// observeRun records a completed engine run's latency (and, for workload
+// runs, its SIMD efficiency) in the histograms and the flight's stage
+// record.
+func (s *Server) observeRun(ctx context.Context, start time.Time, efficiency float64, withEff bool) {
+	d := time.Since(start)
+	s.met.runTime.observe(d.Seconds())
+	if withEff {
+		s.met.efficiency.observe(efficiency)
+	}
+	if rec := stagesFrom(ctx); rec != nil {
+		rec.Run = d
+	}
+}
+
+// observeEncode records a response-encoding stage.
+func (s *Server) observeEncode(ctx context.Context, start time.Time) {
+	d := time.Since(start)
+	s.met.encode.observe(d.Seconds())
+	if rec := stagesFrom(ctx); rec != nil {
+		rec.Encode = d
+	}
 }
 
 // executeExperiment renders one experiment (or the whole suite).
 func (s *Server) executeExperiment(ctx context.Context, req *ExperimentRequest) (*response, error) {
 	var buf bytes.Buffer
 	ectx := &experiments.Context{Out: &buf, Quick: req.Quick, Workers: req.Workers, Ctx: ctx}
+	runStart := time.Now()
 	var err error
 	if req.ID == "all" {
 		err = experiments.RunAll(ectx)
@@ -326,6 +433,9 @@ func (s *Server) executeExperiment(ctx context.Context, req *ExperimentRequest) 
 	if err != nil {
 		return nil, err
 	}
+	s.observeRun(ctx, runStart, 0, false)
+
+	encStart := time.Now()
 	body, err := json.Marshal(struct {
 		Request *ExperimentRequest `json:"request"`
 		Output  string             `json:"output"`
@@ -333,6 +443,7 @@ func (s *Server) executeExperiment(ctx context.Context, req *ExperimentRequest) 
 	if err != nil {
 		return nil, err
 	}
+	s.observeEncode(ctx, encStart)
 	return &response{status: http.StatusOK, body: body}, nil
 }
 

@@ -33,7 +33,15 @@ type Report struct {
 		DRAMLines    int64   `json:"dramLines"`
 	} `json:"memory"`
 
-	Histogram map[int][]int64 `json:"activeLaneHistogram"` // width → quartile counts
+	Histogram map[int]HistEntry `json:"activeLaneHistogram"` // width → lane-utilization breakdown
+}
+
+// HistEntry is the serialized active-lane histogram of one SIMD width
+// (the paper's Fig. 9 quartile breakdown plus empty-mask issues).
+type HistEntry struct {
+	Buckets []int64 `json:"buckets"` // quartile counts, lowest utilization first
+	Empty   int64   `json:"empty"`   // instructions issued with an all-zero mask
+	Total   int64   `json:"total"`
 }
 
 // TimedReport carries the quantities only a timed run produces.
@@ -44,6 +52,12 @@ type TimedReport struct {
 	DCDemand    float64 `json:"dcLinesPerCycle"`
 	L3HitRate   float64 `json:"l3HitRate"`
 	EnergyProxy float64 `json:"energyProxy"`
+
+	// StallWindows attributes every EU arbitration window of the run to
+	// its outcome (the paper's Fig. 8-style breakdown); StallShares are
+	// the same as fractions of all windows.
+	StallWindows map[string]int64   `json:"stallWindows"`
+	StallShares  map[string]float64 `json:"stallShares"`
 }
 
 // Report builds the serializable snapshot.
@@ -56,7 +70,7 @@ func (r *Run) Report() *Report {
 		Divergent:    r.Divergent(),
 		BCCReduction: r.EUCycleReduction(compaction.BCC),
 		SCCReduction: r.EUCycleReduction(compaction.SCC),
-		Histogram:    map[int][]int64{},
+		Histogram:    map[int]HistEntry{},
 	}
 	rep.EUCycles.Baseline = r.PolicyCycles[compaction.Baseline]
 	rep.EUCycles.IvyBridge = r.PolicyCycles[compaction.IvyBridge]
@@ -67,16 +81,26 @@ func (r *Run) Report() *Report {
 	rep.Memory.SLMAccesses = r.Mem.SLMAccesses
 	rep.Memory.DRAMLines = r.Mem.DRAMLines
 	for w, h := range r.Hist {
-		rep.Histogram[w] = append([]int64(nil), h.Buckets[:]...)
+		rep.Histogram[w] = HistEntry{
+			Buckets: append([]int64(nil), h.Buckets[:]...),
+			Empty:   h.Empty,
+			Total:   h.Total(),
+		}
 	}
 	if r.TotalCycles > 0 {
 		rep.Timed = &TimedReport{
-			Policy:      r.TimedPolicy.String(),
-			TotalCycles: r.TotalCycles,
-			EUBusy:      r.EUBusy,
-			DCDemand:    r.DCDemand(),
-			L3HitRate:   r.L3HitRate,
-			EnergyProxy: r.EnergyProxy(),
+			Policy:       r.TimedPolicy.String(),
+			TotalCycles:  r.TotalCycles,
+			EUBusy:       r.EUBusy,
+			DCDemand:     r.DCDemand(),
+			L3HitRate:    r.L3HitRate,
+			EnergyProxy:  r.EnergyProxy(),
+			StallWindows: map[string]int64{},
+			StallShares:  map[string]float64{},
+		}
+		for k := StallKind(0); k < NumStallKinds; k++ {
+			rep.Timed.StallWindows[k.String()] = r.Windows[k]
+			rep.Timed.StallShares[k.String()] = r.WindowShare(k)
 		}
 	}
 	return rep

@@ -51,6 +51,7 @@ import (
 	"intrawarp/internal/isa"
 	"intrawarp/internal/kbuild"
 	"intrawarp/internal/mask"
+	"intrawarp/internal/obs"
 	"intrawarp/internal/stats"
 	"intrawarp/internal/trace"
 	"intrawarp/internal/workloads"
@@ -86,6 +87,10 @@ type (
 	TraceRecord = trace.Record
 	// Experiment reproduces one paper table or figure.
 	Experiment = experiments.Experiment
+	// Probe receives engine instrumentation events (see internal/obs).
+	Probe = obs.Probe
+	// Timeline records probe events as a Chrome-trace/Perfetto timeline.
+	Timeline = obs.Timeline
 )
 
 // Compaction policies, weakest to strongest.
@@ -304,4 +309,19 @@ func ParsePolicy(s string) (Policy, error) { return compaction.ParsePolicy(s) }
 // models.
 func AnalyzeTrace(name string, records []TraceRecord) *Run {
 	return trace.Analyze(name, &trace.SliceSource{Records: records})
+}
+
+// NewTimeline creates an empty timeline recorder. Attach per-run probes
+// with Timeline.Run and a ConfigOption built by WithProbe; export with
+// Timeline.WriteJSON (Chrome-trace JSON, loadable in Perfetto or
+// chrome://tracing). See docs/observability.md.
+func NewTimeline() *Timeline { return obs.NewTimeline() }
+
+// ContextWithProbes returns a context carrying a probe factory. Code
+// that constructs engines internally — notably the experiment sweeps,
+// where each cell builds its own GPU — consults the context and attaches
+// factory(label) to every engine it creates. This is how simd-bench
+// captures timelines from sweep cells it never constructs directly.
+func ContextWithProbes(ctx context.Context, factory func(label string) Probe) context.Context {
+	return obs.ContextWithProbes(ctx, factory)
 }

@@ -109,6 +109,17 @@ func WithPolicy(p Policy) ConfigOption {
 	})
 }
 
+// WithProbe attaches an instrumentation probe to every engine run of the
+// configured GPU (see the Probe interface and NewTimeline). A nil probe
+// disables instrumentation — the default — and keeps the timed loop on
+// its zero-allocation fast path.
+func WithProbe(p Probe) ConfigOption {
+	return configOptionFunc(func(c *gpu.Config) error {
+		c.EU.Probe = p
+		return nil
+	})
+}
+
 // WithConfig replaces the whole base configuration; options listed after
 // it refine the given config.
 func WithConfig(cfg Config) ConfigOption {
