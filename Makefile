@@ -27,7 +27,7 @@ race:
 	$(GO) test -race ./...
 	$(GO) test -race -tags statsguard ./internal/stats/ ./internal/gpu/ ./internal/workloads/ ./internal/par/ ./internal/serve/
 
-.PHONY: build vet test race check bench verify fuzz-smoke timeline-smoke
+.PHONY: build vet test race check bench verify fuzz-smoke timeline-smoke sweep-smoke
 
 check: build vet test race
 
@@ -55,6 +55,18 @@ timeline-smoke:
 	$(GO) run ./cmd/simd-sim -workload bfs -n 256 -compare -timeline $(TIMELINE)
 	$(GO) run ./cmd/timelint $(TIMELINE)
 	$(GO) test -run TestTimedExecutionZeroAlloc -count 1 ./internal/eu/
+
+# sweep-smoke exercises the trace-once sweep engine end to end on a
+# small grid. The CLI pass oracle-checks every captured trace record
+# (-verify) and hard-asserts replayed accounting equals the capturing
+# execution; the test pass proves one functional execution per group
+# (probe-counted), replayed costs identical to fresh per-policy
+# executions, and /v1/sweep cells byte-identical to freshly executed
+# /v1/run responses on an independent httptest server.
+sweep-smoke:
+	$(GO) run ./cmd/simd-bench -sweep bsearch,urng -sizes 512 -verify
+	$(GO) test -count 1 -run 'TestSweepSingleExecutionPerWorkload|TestSweepReplayMatchesFreshExecution|TestSweepOracleVerify' ./internal/experiments/
+	$(GO) test -count 1 -run 'TestSweepCellsByteIdenticalToRun|TestSweepWidthAxisOverHTTP' ./internal/serve/
 
 # bench runs every benchmark with allocation reporting and converts the
 # output into $(BENCHOUT) (ns/op, B/op, allocs/op per benchmark) for the

@@ -109,7 +109,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g := gpu.New(gpu.DefaultConfig().WithPolicy(SCC))
-		if _, err := workloads.Execute(g, w, 128, true); err != nil {
+		if _, err := workloads.ExecuteOpts(g, w, workloads.ExecOptions{Size: 128, Timed: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -130,7 +130,7 @@ func BenchmarkTimedSIMD16Divergent(b *testing.B) {
 		b.StopTimer()
 		g := gpu.New(gpu.DefaultConfig().WithPolicy(SCC))
 		b.StartTimer()
-		if _, err := workloads.Execute(g, w, 128, true); err != nil {
+		if _, err := workloads.ExecuteOpts(g, w, workloads.ExecOptions{Size: 128, Timed: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -145,7 +145,7 @@ func BenchmarkFunctionalThroughput(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g := gpu.New(gpu.DefaultConfig())
-		if _, err := workloads.Execute(g, w, 256, false); err != nil {
+		if _, err := workloads.ExecuteOpts(g, w, workloads.ExecOptions{Size: 256}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,4 +1,5 @@
-// Command simd-bench regenerates the paper's tables and figures.
+// Command simd-bench regenerates the paper's tables and figures and runs
+// ad-hoc policy sweeps on the trace-once, cost-many engine.
 //
 // Usage:
 //
@@ -7,6 +8,14 @@
 //	simd-bench -all               run everything
 //	simd-bench -all -quick        reduced problem sizes
 //	simd-bench -all -workers 4    bound the worker pool
+//
+// Sweeps (one functional execution per workload×width×size group; every
+// policy cell is a bit-parallel trace replay of that group's masks):
+//
+//	simd-bench -sweep bsearch,urng                      4-policy sweep
+//	simd-bench -sweep bsearch -policies scc,bcc \
+//	           -widths 8,16 -sizes 1000,4000            explicit axes
+//	simd-bench -sweep bsearch -verify                   oracle-check traces
 //
 // Profiling (inspect with `go tool pprof` / `go tool trace`):
 //
@@ -30,6 +39,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"intrawarp"
@@ -50,6 +61,11 @@ func run() int {
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
 		timeline   = flag.String("timeline", "", "write a Chrome-trace timeline of the simulated machines to this file")
+		sweep      = flag.String("sweep", "", "comma-separated workloads to sweep trace-once across the policy grid")
+		policies   = flag.String("policies", "", "sweep policy axis, comma-separated (default: all four)")
+		widths     = flag.String("widths", "", "sweep SIMD-width axis in lanes, comma-separated (0 = native)")
+		sizes      = flag.String("sizes", "", "sweep problem-size axis, comma-separated (0 = workload default)")
+		verify     = flag.Bool("verify", false, "oracle-check every captured sweep trace record by record")
 	)
 	flag.Parse()
 
@@ -134,6 +150,11 @@ func run() int {
 	}
 	var err error
 	switch {
+	case *sweep != "":
+		err = runSweep(ctx, sweepFlags{
+			workloads: *sweep, policies: *policies, widths: *widths, sizes: *sizes,
+			verify: *verify, quick: *quick, workers: *workers,
+		})
 	case *all:
 		err = intrawarp.RunAllExperimentsCtx(ctx, opts...)
 	case *exp != "":
@@ -150,4 +171,86 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// sweepFlags carries the -sweep mode's axis flags in their raw
+// comma-separated form.
+type sweepFlags struct {
+	workloads, policies, widths, sizes string
+	verify, quick                      bool
+	workers                            int
+}
+
+// runSweep builds a Sweep from the flags, evaluates it, and renders the
+// cell table to stdout.
+func runSweep(ctx context.Context, f sweepFlags) error {
+	opts := []intrawarp.SweepOption{
+		intrawarp.SweepWorkloads(splitList(f.workloads)...),
+		intrawarp.SweepWorkers(f.workers),
+	}
+	if f.policies != "" {
+		var ps []intrawarp.Policy
+		for _, s := range splitList(f.policies) {
+			p, err := intrawarp.ParsePolicy(s)
+			if err != nil {
+				return err
+			}
+			ps = append(ps, p)
+		}
+		opts = append(opts, intrawarp.SweepPolicies(ps...))
+	}
+	if f.widths != "" {
+		ws, err := splitInts(f.widths)
+		if err != nil {
+			return fmt.Errorf("-widths: %w", err)
+		}
+		opts = append(opts, intrawarp.SweepWidths(ws...))
+	}
+	if f.sizes != "" {
+		ns, err := splitInts(f.sizes)
+		if err != nil {
+			return fmt.Errorf("-sizes: %w", err)
+		}
+		opts = append(opts, intrawarp.SweepSizes(ns...))
+	}
+	if f.verify {
+		opts = append(opts, intrawarp.SweepVerify())
+	}
+	if f.quick {
+		opts = append(opts, intrawarp.SweepQuick())
+	}
+	s, err := intrawarp.NewSweep(opts...)
+	if err != nil {
+		return err
+	}
+	out, err := intrawarp.RunSweep(ctx, s)
+	if err != nil {
+		return err
+	}
+	out.Render(os.Stdout)
+	return nil
+}
+
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// splitInts parses a comma-separated list of integers.
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

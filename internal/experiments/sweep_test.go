@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"intrawarp/internal/compaction"
+	"intrawarp/internal/eu"
+	"intrawarp/internal/gpu"
+	"intrawarp/internal/obs"
+	"intrawarp/internal/stats"
+	"intrawarp/internal/workloads"
+)
+
+// sweepSet is the test grid's workload axis: a single-launch divergent
+// kernel, a multi-launch workload (BFS re-launches until the frontier
+// drains), and a second single-launch one.
+var sweepSet = []string{"bfs", "bsearch", "urng"}
+
+// freshRun is the pre-replay path: one full functional execution of the
+// workload under the given policy's machine configuration.
+func freshRun(t testing.TB, name string, p compaction.Policy, size, workers int) *stats.Run {
+	t.Helper()
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gpu.DefaultConfig().WithPolicy(p).WithWorkers(workers)
+	run, err := workloads.ExecuteCtx(context.Background(), gpu.New(cfg), spec, workloads.ExecOptions{Size: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// TestSweepSingleExecutionPerWorkload is the trace-once guarantee: a
+// full 4-policy sweep performs exactly as many functional launches as
+// executing each workload once — the policy axis is served entirely by
+// trace replays.
+func TestSweepSingleExecutionPerWorkload(t *testing.T) {
+	// Baseline: one execution per workload, counting launches (BFS
+	// launches several times per execution, so launch counts — not
+	// execution counts — are the comparable quantity).
+	base := &obs.Counts{}
+	for _, name := range sweepSet {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := gpu.DefaultConfig()
+		cfg.EU.Probe = base
+		// A visitor forces the serial functional engine, matching the
+		// sweep's trace-capture executions.
+		noop := func(int, int, eu.ExecResult) {}
+		_, err = workloads.ExecuteCtx(context.Background(), gpu.New(cfg), spec,
+			workloads.ExecOptions{Size: workloads.QuickSize(spec), Visit: noop})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	counts := &obs.Counts{}
+	ctx := obs.ContextWithProbes(context.Background(), func(string) obs.Probe { return counts })
+	sw, err := NewSweep(SweepWorkloads(sweepSet...), SweepQuick(), SweepWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sw.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := counts.Launches("functional"), base.Launches("functional"); got != want {
+		t.Errorf("sweep performed %d functional launches, want %d (one execution per workload)", got, want)
+	}
+	if n := counts.Launches("functional-parallel"); n != 0 {
+		t.Errorf("sweep performed %d parallel functional launches, want 0 (capture is serial)", n)
+	}
+	if got, want := counts.Launches("trace-replay"), len(sweepSet)*compaction.NumPolicies; got != want {
+		t.Errorf("sweep performed %d trace replays, want %d", got, want)
+	}
+	if out.Executions != len(sweepSet) {
+		t.Errorf("outcome reports %d executions, want %d", out.Executions, len(sweepSet))
+	}
+	if want := len(sweepSet) * compaction.NumPolicies; len(out.Results) != want {
+		t.Errorf("got %d cells, want %d", len(out.Results), want)
+	}
+}
+
+// TestSweepReplayMatchesFreshExecution is the cost-many guarantee: every
+// cell's replayed report is byte-identical to the report of a fresh
+// functional execution under that cell's policy.
+func TestSweepReplayMatchesFreshExecution(t *testing.T) {
+	sw, err := NewSweep(SweepWorkloads(sweepSet...), SweepQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sw.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range out.Results {
+		spec, err := workloads.ByName(res.Cell.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := freshRun(t, res.Cell.Workload, res.Cell.Policy, workloads.QuickSize(spec), 0)
+		got, err := json.Marshal(res.Run.Report())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(fresh.Report())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s/%s: replayed report != fresh execution report\nreplay: %s\nfresh:  %s",
+				res.Cell.Workload, res.Cell.Policy, got, want)
+		}
+		if !res.Run.MaskCountsEqual(fresh) {
+			t.Errorf("%s/%s: replayed mask counts diverge from fresh execution", res.Cell.Workload, res.Cell.Policy)
+		}
+	}
+}
+
+// TestSweepOracleVerify runs a sweep with per-record oracle checking of
+// every captured trace enabled.
+func TestSweepOracleVerify(t *testing.T) {
+	sw, err := NewSweep(SweepWorkloads("bsearch"), SweepQuick(), SweepVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepWidthAxis sweeps a width-parameterizable kernel across SIMD
+// widths and checks each cell ran at its width.
+func TestSweepWidthAxis(t *testing.T) {
+	sw, err := NewSweep(
+		SweepWorkloads("bsearch"),
+		SweepWidths(8, 16, 32),
+		SweepPolicies(compaction.IvyBridge, compaction.SCC),
+		SweepQuick(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sw.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 6 {
+		t.Fatalf("got %d cells, want 6", len(out.Results))
+	}
+	for _, res := range out.Results {
+		if res.Run.Width != res.Cell.Width {
+			t.Errorf("cell width %d ran at SIMD%d", res.Cell.Width, res.Run.Width)
+		}
+	}
+	if out.Executions != 3 {
+		t.Errorf("width sweep performed %d executions, want 3 (one per width)", out.Executions)
+	}
+}
+
+// TestSweepOptionValidation covers the constructor's error paths.
+func TestSweepOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []SweepOption
+	}{
+		{"no workloads", nil},
+		{"unknown workload", []SweepOption{SweepWorkloads("nope")}},
+		{"bad width", []SweepOption{SweepWorkloads("bsearch"), SweepWidths(7)}},
+		{"negative size", []SweepOption{SweepWorkloads("bsearch"), SweepSizes(-1)}},
+		{"bad dc bandwidth", []SweepOption{SweepWorkloads("bsearch"), SweepDCBandwidth(0)}},
+	}
+	for _, tc := range cases {
+		if _, err := NewSweep(tc.opts...); err == nil {
+			t.Errorf("%s: NewSweep succeeded, want error", tc.name)
+		}
+	}
+	// A width axis on a workload without width variants fails at run time
+	// with the workload named.
+	sw, err := NewSweep(SweepWorkloads("bfs"), SweepWidths(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Run(context.Background()); err == nil {
+		t.Error("width sweep of a fixed-width workload succeeded, want error")
+	}
+}
+
+// TestSweepDefaults checks the default axes: all four policies at native
+// width and default (here quick) size.
+func TestSweepDefaults(t *testing.T) {
+	sw, err := NewSweep(SweepWorkloads("bsearch"), SweepQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := sw.Cells()
+	if len(cells) != compaction.NumPolicies {
+		t.Fatalf("got %d cells, want %d", len(cells), compaction.NumPolicies)
+	}
+	for i, p := range compaction.Policies {
+		if cells[i].Policy != p {
+			t.Errorf("cell %d policy = %s, want %s", i, cells[i].Policy, p)
+		}
+	}
+}
+
+// BenchmarkSweepGridReplay measures the trace-once sweep over a 3
+// workload × 4 policy grid; BenchmarkSweepGridExecute is the pre-replay
+// path over the same grid (one functional execution per cell). Both run
+// serially (Workers 1) so the comparison is engine vs engine, not
+// scheduling. Their ratio is the sweep engine's headline speedup.
+func BenchmarkSweepGridReplay(b *testing.B) {
+	sw, err := NewSweep(SweepWorkloads(sweepSet...), SweepQuick(), SweepWorkers(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sw.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepGridExecute(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, name := range sweepSet {
+			spec, err := workloads.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range compaction.Policies {
+				freshRun(b, name, p, workloads.QuickSize(spec), 1)
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// The versioned error envelope shared by every /v1/* endpoint:
+//
+//	{"error":{"code":"queue_full","message":"...","retryAfter":1}}
+//
+// Clients branch on the stable machine-readable code; the message is
+// for humans and may change. HTTP status codes are unchanged — the
+// envelope replaces only the ad-hoc string bodies. Inside a /v1/sweep
+// NDJSON stream the same apiError object appears per failed cell
+// (alongside the cell's request), so one error decoder serves both the
+// unary endpoints and the batch stream.
+
+// apiError is the envelope payload.
+type apiError struct {
+	// Code is a stable machine-readable error class (see errorCode).
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+	// RetryAfter is the load-shedding retry hint in seconds, mirrored in
+	// the Retry-After header; set only on queue_full.
+	RetryAfter int `json:"retryAfter,omitempty"`
+}
+
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+// retryAfterSeconds is the hint handed to shed clients, in the body and
+// the Retry-After header alike.
+const retryAfterSeconds = 1
+
+// errorCode maps an HTTP status to the envelope's machine code.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "invalid_request"
+	case http.StatusTooManyRequests:
+		return "queue_full"
+	case http.StatusServiceUnavailable:
+		return "shutting_down"
+	case http.StatusGatewayTimeout:
+		return "deadline_exceeded"
+	default:
+		return "internal"
+	}
+}
+
+// errorBody renders the envelope for a status/error pair.
+func errorBody(status int, err error) []byte {
+	e := apiError{Code: errorCode(status), Message: err.Error()}
+	if status == http.StatusTooManyRequests {
+		e.RetryAfter = retryAfterSeconds
+	}
+	b, _ := json.Marshal(errorEnvelope{Error: e})
+	return b
+}
+
+// writeError sends an enveloped error response.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
+	w.WriteHeader(status)
+	w.Write(errorBody(status, err))
+}

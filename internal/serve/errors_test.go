@@ -3,6 +3,8 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"sync"
@@ -13,6 +15,155 @@ import (
 // Error-path behavior of the HTTP front end: timeouts mid-run, cancelled
 // clients sharing a flight, and the determinism guarantee the result
 // cache rests on. The happy paths live in serve_test.go.
+
+// TestErrorEnvelopeEveryPath drives every error path of the API —
+// validation, the sweep cell limit, queue shedding, per-request
+// deadline, and server shutdown — and requires each to answer with its
+// HTTP status and the one versioned envelope
+// {"error":{"code","message","retryAfter"}}.
+func TestErrorEnvelopeEveryPath(t *testing.T) {
+	cases := []struct {
+		name       string
+		status     int
+		code       string
+		retryAfter bool
+		run        func(t *testing.T) (*http.Response, []byte)
+	}{
+		{
+			name: "malformed body", status: http.StatusBadRequest, code: "invalid_request",
+			run: func(t *testing.T) (*http.Response, []byte) {
+				_, ts := newTestServer(t, Config{})
+				return post(t, ts, "/v1/run", `not json`)
+			},
+		},
+		{
+			name: "unknown workload", status: http.StatusBadRequest, code: "invalid_request",
+			run: func(t *testing.T) (*http.Response, []byte) {
+				_, ts := newTestServer(t, Config{})
+				return post(t, ts, "/v1/run", `{"workload":"no-such"}`)
+			},
+		},
+		{
+			name: "unknown experiment", status: http.StatusBadRequest, code: "invalid_request",
+			run: func(t *testing.T) (*http.Response, []byte) {
+				_, ts := newTestServer(t, Config{})
+				return post(t, ts, "/v1/experiment", `{"id":"no-such"}`)
+			},
+		},
+		{
+			name: "sweep invalid axis", status: http.StatusBadRequest, code: "invalid_request",
+			run: func(t *testing.T) (*http.Response, []byte) {
+				_, ts := newTestServer(t, Config{})
+				return post(t, ts, "/v1/sweep", `{"workloads":["bsearch"],"policies":["warp-shuffle"]}`)
+			},
+		},
+		{
+			name: "sweep over cell limit", status: http.StatusBadRequest, code: "invalid_request",
+			run: func(t *testing.T) (*http.Response, []byte) {
+				_, ts := newTestServer(t, Config{MaxSweepCells: 3})
+				return post(t, ts, "/v1/sweep", `{"workloads":["bsearch"]}`) // expands to 4 cells
+			},
+		},
+		{
+			name: "queue full", status: http.StatusTooManyRequests, code: "queue_full", retryAfter: true,
+			run: func(t *testing.T) (*http.Response, []byte) {
+				_, ts := newTestServer(t, Config{Concurrency: 1, MaxQueue: 1})
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				var wg sync.WaitGroup
+				defer wg.Wait()
+				for i := 0; i < 2; i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						body := fmt.Sprintf(`{"workload":"bsearch","timed":true,"size":%d}`, 700000+i)
+						req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/run", bytes.NewBufferString(body))
+						req.Header.Set("Content-Type", "application/json")
+						if resp, err := http.DefaultClient.Do(req); err == nil {
+							resp.Body.Close()
+						}
+					}(i)
+				}
+				waitMetrics(t, ts, 5*time.Second, func(m map[string]int64) bool {
+					return m["in_flight"] == 1 && m["queue_depth"] == 1
+				})
+				resp, data := post(t, ts, "/v1/run", `{"workload":"bsearch","timed":true,"size":700002}`)
+				cancel()
+				return resp, data
+			},
+		},
+		{
+			name: "deadline exceeded", status: http.StatusGatewayTimeout, code: "deadline_exceeded",
+			run: func(t *testing.T) (*http.Response, []byte) {
+				_, ts := newTestServer(t, Config{Timeout: 50 * time.Millisecond})
+				return post(t, ts, "/v1/run", `{"workload":"bsearch","timed":true,"size":700003}`)
+			},
+		},
+		{
+			name: "shutdown", status: http.StatusServiceUnavailable, code: "shutting_down",
+			run: func(t *testing.T) (*http.Response, []byte) {
+				api, ts := newTestServer(t, Config{})
+				type result struct {
+					resp *http.Response
+					data []byte
+				}
+				resc := make(chan result, 1)
+				go func() {
+					resp, err := http.Post(ts.URL+"/v1/run", "application/json",
+						bytes.NewBufferString(`{"workload":"bsearch","timed":true,"size":700004}`))
+					if err != nil {
+						resc <- result{}
+						return
+					}
+					defer resp.Body.Close()
+					data, _ := io.ReadAll(resp.Body)
+					resc <- result{resp, data}
+				}()
+				waitMetrics(t, ts, 5*time.Second, func(m map[string]int64) bool { return m["in_flight"] == 1 })
+				api.Close()
+				r := <-resc
+				if r.resp == nil {
+					t.Fatal("shutdown request failed at the transport level")
+				}
+				return r.resp, r.data
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := tc.run(t)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d (%s), want %d", resp.StatusCode, data, tc.status)
+			}
+			var e struct {
+				Error struct {
+					Code       string `json:"code"`
+					Message    string `json:"message"`
+					RetryAfter int    `json:"retryAfter"`
+				} `json:"error"`
+			}
+			if err := json.Unmarshal(data, &e); err != nil {
+				t.Fatalf("body %q is not the JSON envelope: %v", data, err)
+			}
+			if e.Error.Code != tc.code {
+				t.Errorf("error.code = %q, want %q", e.Error.Code, tc.code)
+			}
+			if e.Error.Message == "" {
+				t.Error("error.message is empty")
+			}
+			if tc.retryAfter {
+				if e.Error.RetryAfter < 1 {
+					t.Errorf("error.retryAfter = %d, want >= 1", e.Error.RetryAfter)
+				}
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("Retry-After header missing on queue_full")
+				}
+			} else if e.Error.RetryAfter != 0 {
+				t.Errorf("error.retryAfter = %d on a non-shedding error", e.Error.RetryAfter)
+			}
+		})
+	}
+}
 
 // TestDeadlineExceededMidRunDoesNotPoisonCache hits the per-request
 // deadline while a simulation is executing, then requires (a) a 504 for

@@ -25,6 +25,15 @@ type metrics struct {
 	queueDepth atomic.Int64 // requests waiting for a run slot
 	inFlight   atomic.Int64 // simulations holding a run slot
 
+	// Sweep-endpoint series: the replay-vs-execute split is the
+	// observable form of the trace-once design — sweep_cells_total
+	// growing much faster than sweep_executions_total means cells are
+	// being served by replay and cache, not fresh simulation.
+	sweeps          atomic.Int64 // /v1/sweep requests accepted
+	sweepCells      atomic.Int64 // sweep cells served (result lines streamed)
+	sweepExecutions atomic.Int64 // functional executions for sweep groups
+	sweepReplays    atomic.Int64 // per-policy trace replays for sweep groups
+
 	start time.Time // process start, for the uptime gauge
 
 	// Stage-latency histograms (seconds), observed once per executed
@@ -37,6 +46,9 @@ type metrics struct {
 	// efficiency is the per-run SIMD-efficiency distribution
 	// (stats.Run.SIMDEfficiency, one observation per executed run).
 	efficiency *histogram
+	// sweepCell is the per-cell latency of streamed sweep cells: time
+	// from the sweep request starting to that cell's line being emitted.
+	sweepCell *histogram
 }
 
 // init prepares the histograms and uptime anchor in place (metrics holds
@@ -48,6 +60,7 @@ func (m *metrics) init() {
 	m.encode = newHistogram(latencyBounds()...)
 	m.request = newHistogram(latencyBounds()...)
 	m.efficiency = newHistogram(efficiencyBounds()...)
+	m.sweepCell = newHistogram(latencyBounds()...)
 }
 
 func (m *metrics) render(w io.Writer, cacheLen int) {
@@ -67,6 +80,10 @@ func (m *metrics) render(w io.Writer, cacheLen int) {
 	counter("rejected_total", "requests rejected by the bounded admission queue", m.rejected.Load())
 	counter("cancelled_total", "simulations stopped by cancellation", m.cancelled.Load())
 	counter("errors_total", "simulations that failed", m.errors.Load())
+	counter("sweeps_total", "sweep requests accepted", m.sweeps.Load())
+	counter("sweep_cells_total", "sweep cells served as result lines", m.sweepCells.Load())
+	counter("sweep_executions_total", "trace-capturing functional executions for sweep groups", m.sweepExecutions.Load())
+	counter("sweep_replays_total", "per-policy trace replays for sweep groups", m.sweepReplays.Load())
 	gauge("queue_depth", "requests waiting for a run slot", m.queueDepth.Load())
 	gauge("in_flight", "simulations currently holding a run slot", m.inFlight.Load())
 	gauge("cache_entries", "entries in the result cache", int64(cacheLen))
@@ -78,6 +95,7 @@ func (m *metrics) render(w io.Writer, cacheLen int) {
 	m.encode.render(w, "encode_seconds", "response encoding time")
 	m.request.render(w, "request_seconds", "whole-request latency as seen by the handler")
 	m.efficiency.render(w, "run_simd_efficiency", "per-run SIMD efficiency (enabled lanes / available lanes)")
+	m.sweepCell.render(w, "sweep_cell_seconds", "per-cell latency from sweep start to cell emission")
 
 	// Go runtime health: allocation pressure from the simulation engine
 	// shows up here first (the timed hot loop is designed to stay flat).

@@ -8,7 +8,6 @@ import (
 
 	"intrawarp/internal/compaction"
 	"intrawarp/internal/experiments"
-	"intrawarp/internal/workloads"
 )
 
 // RunRequest asks for one workload execution. The zero value of every
@@ -19,6 +18,11 @@ type RunRequest struct {
 	Workload string `json:"workload"`
 	// Size is the problem scale; 0 selects the workload default.
 	Size int `json:"size,omitempty"`
+	// SIMDWidth compiles the kernel at the given SIMD width in lanes (1,
+	// 4, 8, 16, or 32) instead of its native width; only the
+	// width-parameterizable workloads support it. 0 selects the native
+	// kernel — and omitempty keeps pre-existing cache keys stable.
+	SIMDWidth int `json:"simdWidth,omitempty"`
 	// Timed selects the cycle-level simulator (default: functional).
 	Timed bool `json:"timed,omitempty"`
 	// Policy is the compaction policy name ("baseline", "ivb", "bcc",
@@ -49,7 +53,10 @@ func (r *RunRequest) normalize() error {
 	if r.Workload == "" {
 		return fmt.Errorf("workload is required")
 	}
-	if _, err := workloads.ByName(r.Workload); err != nil {
+	if r.SIMDWidth < 0 {
+		return fmt.Errorf("simdWidth must be non-negative")
+	}
+	if _, err := experiments.ResolveSpec(r.Workload, r.SIMDWidth); err != nil {
 		return err
 	}
 	if r.Policy == "" {
@@ -110,6 +117,89 @@ func (r *ExperimentRequest) normalize() error {
 func (r ExperimentRequest) key() string {
 	r.Workers = 0
 	return hashJSON("experiment", r)
+}
+
+// SweepRequest asks for a grid of functional runs — the cross product
+// of workloads × policies × SIMD widths × sizes — streamed back as
+// NDJSON with one /v1/run response object per cell. Cells that share a
+// (workload, width, size, memory-config) group are evaluated
+// trace-once, cost-many: one functional execution captures the group's
+// execution-mask trace and every policy cell is a bit-parallel replay
+// of it (internal/trace), so a 4-policy sweep costs one execution per
+// group, not four.
+type SweepRequest struct {
+	// Workloads is the workload axis; at least one name is required.
+	Workloads []string `json:"workloads"`
+	// Policies is the policy axis; empty selects all four.
+	Policies []string `json:"policies,omitempty"`
+	// SIMDWidths is the width axis in lanes, 0 meaning the kernel's
+	// native width; empty selects native only.
+	SIMDWidths []int `json:"simdWidths,omitempty"`
+	// Sizes is the problem-scale axis, 0 meaning the workload default;
+	// empty selects the default only.
+	Sizes []int `json:"sizes,omitempty"`
+	// DCLinesPerCycle, PerfectL3, and SkipVerify apply to every cell,
+	// with exactly the /v1/run semantics.
+	DCLinesPerCycle int  `json:"dcLinesPerCycle,omitempty"`
+	PerfectL3       bool `json:"perfectL3,omitempty"`
+	SkipVerify      bool `json:"skipVerify,omitempty"`
+}
+
+// cells expands the grid into canonicalized per-cell RunRequests in
+// grid order (workload-major, then width, size, policy). Each cell is
+// exactly the functional /v1/run request its stream line answers — the
+// basis of the per-cell byte-identity and cache-sharing guarantees.
+func (r *SweepRequest) cells() ([]RunRequest, error) {
+	if len(r.Workloads) == 0 {
+		return nil, fmt.Errorf("workloads is required (at least one)")
+	}
+	policies := r.Policies
+	if len(policies) == 0 {
+		policies = make([]string, 0, len(compaction.Policies))
+		for _, p := range compaction.Policies {
+			policies = append(policies, p.String())
+		}
+	}
+	widths := r.SIMDWidths
+	if len(widths) == 0 {
+		widths = []int{0}
+	}
+	sizes := r.Sizes
+	if len(sizes) == 0 {
+		sizes = []int{0}
+	}
+	cells := make([]RunRequest, 0, len(r.Workloads)*len(widths)*len(sizes)*len(policies))
+	for _, name := range r.Workloads {
+		for _, w := range widths {
+			for _, n := range sizes {
+				for _, p := range policies {
+					cell := RunRequest{
+						Workload:        name,
+						Size:            n,
+						SIMDWidth:       w,
+						Policy:          p,
+						DCLinesPerCycle: r.DCLinesPerCycle,
+						PerfectL3:       r.PerfectL3,
+						SkipVerify:      r.SkipVerify,
+					}
+					if err := cell.normalize(); err != nil {
+						return nil, fmt.Errorf("cell %s/%s: %w", name, p, err)
+					}
+					cells = append(cells, cell)
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// groupKey is the content address of a cell's trace-capture group:
+// every field of the canonicalized cell except the policy (served by
+// replay) and the worker knob (never part of any key).
+func (r RunRequest) groupKey() string {
+	r.Policy = ""
+	r.Workers = 0
+	return hashJSON("sweepgroup", r)
 }
 
 // hashJSON content-addresses a canonicalized request. encoding/json

@@ -1,6 +1,9 @@
 // Package serve exposes the simulator over HTTP/JSON: POST /v1/run
-// executes one workload, POST /v1/experiment regenerates a paper table
-// or figure, GET /healthz and GET /metrics cover operations.
+// executes one workload, POST /v1/sweep streams a policy-sweep grid as
+// NDJSON, POST /v1/experiment regenerates a paper table or figure, GET
+// /healthz and GET /metrics cover operations. docs/api.md is the full
+// endpoint reference; every error is the one JSON envelope of
+// errors.go.
 //
 // Three properties shape the implementation:
 //
@@ -31,6 +34,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"intrawarp/internal/compaction"
@@ -54,6 +58,9 @@ type Config struct {
 	Timeout time.Duration
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// MaxSweepCells bounds how many cells one /v1/sweep request may
+	// expand to (default 8192).
+	MaxSweepCells int
 	// Logger receives one structured line per request (trace ID, route,
 	// cache state, per-stage spans). Nil selects slog.Default().
 	Logger *slog.Logger
@@ -71,6 +78,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxSweepCells <= 0 {
+		c.MaxSweepCells = 8192
 	}
 	return c
 }
@@ -116,6 +126,7 @@ func New(cfg Config) *Server {
 	}
 	s.met.init()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
@@ -308,7 +319,7 @@ func (s *Server) admitted(ctx context.Context, fn func(context.Context) (*respon
 		s.met.queueDepth.Add(-1)
 		s.met.rejected.Add(1)
 		return &response{status: http.StatusTooManyRequests,
-			body: errorBody(errQueueFull)}, nil
+			body: errorBody(http.StatusTooManyRequests, errQueueFull)}, nil
 	}
 	queueStart := time.Now()
 	select {
@@ -343,7 +354,7 @@ func (s *Server) admitted(ctx context.Context, fn func(context.Context) (*respon
 
 // executeRun performs the simulation a normalized RunRequest describes.
 func (s *Server) executeRun(ctx context.Context, req *RunRequest) (*response, error) {
-	spec, err := workloads.ByName(req.Workload)
+	spec, err := experiments.ResolveSpec(req.Workload, req.SIMDWidth)
 	if err != nil {
 		return nil, err
 	}
@@ -376,24 +387,31 @@ func (s *Server) executeRun(ctx context.Context, req *RunRequest) (*response, er
 	s.observeRun(ctx, runStart, run.SIMDEfficiency(), true)
 
 	encStart := time.Now()
-	payload := struct {
-		Request  *RunRequest     `json:"request"`
-		Report   any             `json:"report"`
-		Timeline json.RawMessage `json:"timeline,omitempty"`
-	}{Request: req, Report: run.Report()}
+	var tlBody json.RawMessage
 	if tl != nil {
-		tlBody, err := tl.JSON()
-		if err != nil {
+		if tlBody, err = tl.JSON(); err != nil {
 			return nil, err
 		}
-		payload.Timeline = tlBody
 	}
-	body, err := json.Marshal(payload)
+	body, err := encodeRunPayload(req, run.Report(), tlBody)
 	if err != nil {
 		return nil, err
 	}
 	s.observeEncode(ctx, encStart)
 	return &response{status: http.StatusOK, body: body}, nil
+}
+
+// encodeRunPayload renders the canonical /v1/run response body. The
+// sweep endpoint encodes every cell through the same function, which is
+// what makes a streamed sweep cell byte-identical to the corresponding
+// single-run response — and lets the two share one content-addressed
+// cache entry.
+func encodeRunPayload(req *RunRequest, report any, timeline json.RawMessage) ([]byte, error) {
+	return json.Marshal(struct {
+		Request  *RunRequest     `json:"request"`
+		Report   any             `json:"report"`
+		Timeline json.RawMessage `json:"timeline,omitempty"`
+	}{req, report, timeline})
 }
 
 // observeRun records a completed engine run's latency (and, for workload
@@ -462,21 +480,10 @@ func writeResult(w http.ResponseWriter, resp *response, cacheState string) {
 	w.Header().Set("X-Cache", cacheState)
 	if resp.status == http.StatusTooManyRequests {
 		// Load shed, not failure: tell well-behaved clients when to retry.
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 	}
 	w.WriteHeader(resp.status)
 	w.Write(resp.body)
-}
-
-func errorBody(err error) []byte {
-	b, _ := json.Marshal(map[string]string{"error": err.Error()})
-	return b
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	w.Write(errorBody(err))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

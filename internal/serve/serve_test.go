@@ -364,8 +364,14 @@ func TestValidation(t *testing.T) {
 		{"/v1/run", `{}`},
 		{"/v1/run", `{"workload":"bsearch","policy":"warp-shuffle"}`},
 		{"/v1/run", `{"workload":"bsearch","dcLinesPerCycle":-1}`},
+		{"/v1/run", `{"workload":"bsearch","simdWidth":7}`},
+		{"/v1/run", `{"workload":"bfs","simdWidth":8}`}, // bfs has no width variants
 		{"/v1/run", `{"workload":"bsearch","bogus":true}`},
 		{"/v1/run", `not json`},
+		{"/v1/sweep", `{}`},
+		{"/v1/sweep", `{"workloads":["no-such-workload"]}`},
+		{"/v1/sweep", `{"workloads":["bsearch"],"policies":["warp-shuffle"]}`},
+		{"/v1/sweep", `{"workloads":["bsearch"],"simdWidths":[7]}`},
 		{"/v1/experiment", `{"id":"no-such-experiment"}`},
 		{"/v1/experiment", `{}`},
 	}
@@ -375,10 +381,13 @@ func TestValidation(t *testing.T) {
 			t.Errorf("%s %s: status %d (%s), want 400", c.path, c.body, resp.StatusCode, data)
 		}
 		var e struct {
-			Error string `json:"error"`
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
 		}
-		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
-			t.Errorf("%s %s: error body %q not structured", c.path, c.body, data)
+		if err := json.Unmarshal(data, &e); err != nil || e.Error.Code != "invalid_request" || e.Error.Message == "" {
+			t.Errorf("%s %s: error body %q is not the invalid_request envelope", c.path, c.body, data)
 		}
 	}
 	m := scrapeMetrics(t, ts)

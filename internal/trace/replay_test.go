@@ -1,0 +1,206 @@
+package trace_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"intrawarp/internal/mask"
+	"intrawarp/internal/obs"
+	"intrawarp/internal/oracle"
+	"intrawarp/internal/stats"
+	"intrawarp/internal/trace"
+)
+
+// analyzeRecords is the reference path: the per-record Analyze engine
+// over an in-memory record slice.
+func analyzeRecords(name string, recs []trace.Record) *stats.Run {
+	return trace.Analyze(name, &trace.SliceSource{Records: recs})
+}
+
+func requireEqualRuns(t *testing.T, got, want *stats.Run) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed run diverges from analyzed run:\ngot:\n%s\nwant:\n%s", got.Summary(), want.Summary())
+	}
+}
+
+// TestReplayExhaustiveSIMD16 replays every possible SIMD16 mask once and
+// demands bit-identical accounting to the per-record Analyze path. This
+// exercises the full lut16 table, the packed-popcount loop, and its
+// scalar tail.
+func TestReplayExhaustiveSIMD16(t *testing.T) {
+	recs := make([]trace.Record, 0, 1<<16)
+	for m := 0; m < 1<<16; m++ {
+		recs = append(recs, trace.Record{Width: 16, Group: 4, Mask: mask.Mask(m)})
+	}
+	requireEqualRuns(t, trace.Replay("exh16", recs), analyzeRecords("exh16", recs))
+}
+
+// TestReplayExhaustiveSIMD8 does the same for the full lut8 table.
+func TestReplayExhaustiveSIMD8(t *testing.T) {
+	recs := make([]trace.Record, 0, 1<<8)
+	for m := 0; m < 1<<8; m++ {
+		recs = append(recs, trace.Record{Width: 8, Group: 4, Mask: mask.Mask(m)})
+	}
+	requireEqualRuns(t, trace.Replay("exh8", recs), analyzeRecords("exh8", recs))
+}
+
+// TestReplayMixedSegments drives the segment splitter with randomized
+// streams mixing every engine-reachable (width, group) shape — including
+// the zero-group legacy encoding, the SIMD32 popcount path, and generic
+// fallback shapes — and checks replay == analyze on the whole Run.
+func TestReplayMixedSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	widths := []uint8{1, 4, 8, 16, 32}
+	groups := []uint8{0, 1, 2, 4, 8}
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(4000)
+		recs := make([]trace.Record, n)
+		w, g := widths[rng.Intn(len(widths))], groups[rng.Intn(len(groups))]
+		for i := range recs {
+			// Change shape rarely so segments have realistic length, but
+			// often enough to hit many segment boundaries per stream.
+			if rng.Intn(50) == 0 {
+				w, g = widths[rng.Intn(len(widths))], groups[rng.Intn(len(groups))]
+			}
+			recs[i] = trace.Record{Width: w, Group: g, Mask: mask.Mask(rng.Uint32())}
+		}
+		requireEqualRuns(t, trace.Replay("mixed", recs), analyzeRecords("mixed", recs))
+	}
+}
+
+// TestReplayEmptyAndShort covers the degenerate inputs: no records, and
+// segments shorter than one packed word (forcing the scalar tail only).
+func TestReplayEmptyAndShort(t *testing.T) {
+	requireEqualRuns(t, trace.Replay("empty", nil), analyzeRecords("empty", nil))
+	recs := []trace.Record{
+		{Width: 16, Group: 4, Mask: 0x0F0F},
+		{Width: 8, Group: 4, Mask: 0x03},
+		{Width: 32, Group: 4, Mask: 0},
+	}
+	requireEqualRuns(t, trace.Replay("short", recs), analyzeRecords("short", recs))
+}
+
+// TestReplayCostsMatchOracle pins the replay fast paths to the
+// independent oracle model rather than to the engine they were built
+// from: exhaustively for the SIMD8/SIMD16 LUTs, randomized for the
+// SIMD32 popcount path.
+func TestReplayCostsMatchOracle(t *testing.T) {
+	check := func(m uint32, width int) {
+		t.Helper()
+		recs := []trace.Record{{Width: uint8(width), Group: 4, Mask: mask.Mask(m)}}
+		run := trace.Replay("oracle", recs)
+		want := oracle.AllCycles(m, width, 4)
+		for p := 0; p < oracle.NumPolicies; p++ {
+			if got := run.PolicyCycles[p]; got != int64(want[p]) {
+				t.Fatalf("mask %#x width %d policy %s: replay=%d oracle=%d",
+					m, width, oracle.PolicyName(p), got, want[p])
+			}
+		}
+	}
+	for m := 0; m < 1<<8; m++ {
+		check(uint32(m), 8)
+	}
+	for m := 0; m < 1<<16; m++ {
+		check(uint32(m), 16)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		check(rng.Uint32(), 32)
+	}
+}
+
+// TestReplayOracleCheckTrace runs the record-level oracle invariant
+// checker over a randomized trace, covering the memoized SCC schedules
+// the verification path exercises during sweeps.
+func TestReplayOracleCheckTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	recs := make([]trace.Record, 2000)
+	for i := range recs {
+		recs[i] = trace.Record{Width: 16, Group: 4, Mask: mask.Mask(rng.Uint32())}
+	}
+	if v, n := oracle.CheckTrace(&trace.SliceSource{Records: recs}, nil); v != nil {
+		t.Fatalf("oracle violation after %d records: %v", n, v)
+	}
+}
+
+// countProbe tallies launch events.
+type countProbe struct {
+	obs.NullProbe
+	begins []obs.LaunchEvent
+	ends   []int64
+}
+
+func (p *countProbe) LaunchBegin(e obs.LaunchEvent) { p.begins = append(p.begins, e) }
+func (p *countProbe) LaunchEnd(c int64)             { p.ends = append(p.ends, c) }
+
+// TestReplayObserved checks the launch-level probe contract: exactly one
+// LaunchBegin/LaunchEnd pair, engine "trace-replay", the policy label
+// threaded through, and no change to the replayed accounting.
+func TestReplayObserved(t *testing.T) {
+	recs := []trace.Record{
+		{Width: 16, Group: 4, Mask: 0x00FF},
+		{Width: 16, Group: 4, Mask: 0xFFFF},
+	}
+	p := &countProbe{}
+	run := trace.ReplayObserved("bsearch", "scc", 16, recs, p)
+	if len(p.begins) != 1 || len(p.ends) != 1 {
+		t.Fatalf("got %d begins, %d ends; want 1 each", len(p.begins), len(p.ends))
+	}
+	b := p.begins[0]
+	if b.Engine != "trace-replay" || b.Kernel != "bsearch" || b.Policy != "scc" || b.Width != 16 {
+		t.Fatalf("unexpected LaunchBegin %+v", b)
+	}
+	if p.ends[0] != int64(len(recs)) {
+		t.Fatalf("LaunchEnd records = %d, want %d", p.ends[0], len(recs))
+	}
+	requireEqualRuns(t, run, trace.Replay("bsearch", recs))
+}
+
+// benchRecords builds a divergent SIMD16 stream shaped like real
+// workload traces (mixed full, partial, and empty masks).
+func benchRecords(n int) []trace.Record {
+	rng := rand.New(rand.NewSource(42))
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		var m mask.Mask
+		switch rng.Intn(4) {
+		case 0:
+			m = mask.Full(16)
+		case 1:
+			m = mask.Mask(rng.Uint32()) & mask.Full(16)
+		case 2:
+			m = mask.Mask(rng.Uint32()) & mask.Mask(rng.Uint32()) & mask.Full(16)
+		case 3:
+			m = mask.Mask(1) << uint(rng.Intn(16))
+		}
+		recs[i] = trace.Record{Width: 16, Group: 4, Mask: m}
+	}
+	return recs
+}
+
+// BenchmarkReplay measures the bit-parallel replay kernels; compare with
+// BenchmarkAnalyze for the per-record reference path.
+func BenchmarkReplay(b *testing.B) {
+	recs := benchRecords(1 << 16)
+	trace.Replay("warm", recs) // build the LUT outside the timed region
+	b.SetBytes(int64(len(recs)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.Replay("bench", recs)
+	}
+}
+
+// BenchmarkAnalyze is the per-record reference path over the same
+// stream.
+func BenchmarkAnalyze(b *testing.B) {
+	recs := benchRecords(1 << 16)
+	b.SetBytes(int64(len(recs)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzeRecords("bench", recs)
+	}
+}

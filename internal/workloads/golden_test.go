@@ -73,7 +73,7 @@ func TestEfficiencyGolden(t *testing.T) {
 				t.Fatalf("no golden entry for %s — add it to efficiencyGolden", s.Name)
 			}
 			g := gpu.New(gpu.DefaultConfig())
-			run, err := Execute(g, s, 0, false)
+			run, err := ExecuteOpts(g, s, ExecOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}

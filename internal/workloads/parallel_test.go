@@ -66,23 +66,3 @@ func TestExecuteSkipVerify(t *testing.T) {
 		t.Fatal("SkipVerify changed statistics")
 	}
 }
-
-// TestDeprecatedExecuteEquivalence pins the deprecated positional wrapper
-// to the options path.
-func TestDeprecatedExecuteEquivalence(t *testing.T) {
-	spec, err := ByName("bsearch")
-	if err != nil {
-		t.Fatal(err)
-	}
-	viaOpts, err := ExecuteOpts(gpu.New(gpu.DefaultConfig()), spec, ExecOptions{Size: 256, Timed: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	viaLegacy, err := Execute(gpu.New(gpu.DefaultConfig()), spec, 256, true)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(viaOpts, viaLegacy) {
-		t.Fatal("deprecated Execute diverged from ExecuteOpts")
-	}
-}

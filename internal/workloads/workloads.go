@@ -181,14 +181,6 @@ func ExecuteCtx(ctx context.Context, g *gpu.GPU, spec *Spec, opts ExecOptions) (
 	return agg, nil
 }
 
-// Execute runs an instance to completion on g. When timed is true the
-// cycle-level simulator is used; otherwise the functional model.
-//
-// Deprecated: use ExecuteOpts, which also exposes verification control.
-func Execute(g *gpu.GPU, spec *Spec, n int, timed bool) (*stats.Run, error) {
-	return ExecuteOpts(g, spec, ExecOptions{Size: n, Timed: timed})
-}
-
 // widthVariants lists the workloads whose kernels are SIMD-width
 // agnostic, with their width-parameterized setup functions. Used by the
 // width ablation (paper §5.4/§7: wider warps lose more efficiency to

@@ -48,7 +48,7 @@ func TestAllWorkloadsFunctional(t *testing.T) {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
 			g := gpu.New(gpu.DefaultConfig())
-			run, err := Execute(g, s, scaleFor(s), false)
+			run, err := ExecuteOpts(g, s, ExecOptions{Size: scaleFor(s)})
 			if err != nil {
 				t.Fatalf("%v", err)
 			}
@@ -70,7 +70,7 @@ func TestClassification(t *testing.T) {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
 			g := gpu.New(gpu.DefaultConfig())
-			run, err := Execute(g, s, scaleFor(s), false)
+			run, err := ExecuteOpts(g, s, ExecOptions{Size: scaleFor(s)})
 			if err != nil {
 				t.Fatalf("%v", err)
 			}
@@ -89,7 +89,7 @@ func TestCompactionBenefitByClass(t *testing.T) {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
 			g := gpu.New(gpu.DefaultConfig())
-			run, err := Execute(g, s, scaleFor(s), false)
+			run, err := ExecuteOpts(g, s, ExecOptions{Size: scaleFor(s)})
 			if err != nil {
 				t.Fatalf("%v", err)
 			}
@@ -122,7 +122,7 @@ func TestTimedDivergentSmoke(t *testing.T) {
 		var busy [compaction.NumPolicies]int64
 		for _, p := range compaction.Policies {
 			g := gpu.New(gpu.DefaultConfig().WithPolicy(p))
-			run, err := Execute(g, s, scaleFor(s), true)
+			run, err := ExecuteOpts(g, s, ExecOptions{Size: scaleFor(s), Timed: true})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", name, p, err)
 			}

@@ -41,7 +41,6 @@ package intrawarp
 
 import (
 	"context"
-	"io"
 	"os"
 
 	"intrawarp/internal/asm"
@@ -157,13 +156,6 @@ func NewGPU(opts ...ConfigOption) (*GPU, error) {
 	return gpu.New(cfg), nil
 }
 
-// NewGPUFromConfig builds a simulated GPU from a fully-specified
-// configuration.
-//
-// Deprecated: use NewGPU with options (e.g. WithConfig to start from an
-// existing Config).
-func NewGPUFromConfig(cfg Config) *GPU { return gpu.New(cfg) }
-
 // NewKernel starts building a kernel of the given SIMD width.
 func NewKernel(name string, width Width) *Builder { return kbuild.New(name, width) }
 
@@ -225,18 +217,6 @@ func RunWorkloadCtx(ctx context.Context, g *GPU, w *Workload, opts ...RunOption)
 	return workloads.ExecuteCtx(ctx, g, w, s.exec)
 }
 
-// RunWorkloadN executes a benchmark on g (timed when timed is true,
-// functional otherwise) at problem size n (0 = default).
-//
-// Deprecated: use RunWorkload with WithSize and WithTimed.
-func RunWorkloadN(g *GPU, w *Workload, n int, timed bool) (*Run, error) {
-	opts := []RunOption{WithSize(n)}
-	if timed {
-		opts = append(opts, WithTimed())
-	}
-	return RunWorkload(g, w, opts...)
-}
-
 // Experiments returns the paper-reproduction registry.
 func Experiments() []*Experiment { return experiments.All() }
 
@@ -289,18 +269,6 @@ func RunAllExperimentsCtx(ctx context.Context, opts ...ExperimentOption) error {
 	return experiments.RunAll(ectx)
 }
 
-// RunExperimentTo regenerates one table or figure, writing its rendering
-// to out. quick selects reduced problem sizes.
-//
-// Deprecated: use RunExperiment with WithOutput and WithQuick.
-func RunExperimentTo(id string, out io.Writer, quick bool) error {
-	opts := []ExperimentOption{WithOutput(out)}
-	if quick {
-		opts = append(opts, WithQuick())
-	}
-	return RunExperiment(id, opts...)
-}
-
 // ParsePolicy parses a policy name ("baseline", "ivybridge", "bcc",
 // "scc").
 func ParsePolicy(s string) (Policy, error) { return compaction.ParsePolicy(s) }
@@ -310,6 +278,68 @@ func ParsePolicy(s string) (Policy, error) { return compaction.ParsePolicy(s) }
 func AnalyzeTrace(name string, records []TraceRecord) *Run {
 	return trace.Analyze(name, &trace.SliceSource{Records: records})
 }
+
+// ReplayTrace produces the same accounting as AnalyzeTrace through the
+// bit-parallel replay kernels (packed-word popcounts and cost LUTs) —
+// the engine behind RunSweep. Prefer it when the same trace is costed
+// many times.
+func ReplayTrace(name string, records []TraceRecord) *Run {
+	return trace.Replay(name, records)
+}
+
+// The trace-once, cost-many sweep API: a Sweep is a grid of workload ×
+// policy × SIMD-width × size cells where each (workload, width, size)
+// group is executed functionally once — capturing its execution-mask
+// trace — and every policy cell is a bit-parallel replay of that trace.
+type (
+	// Sweep is a policy-sweep grid; build one with NewSweep.
+	Sweep = experiments.Sweep
+	// SweepOption configures NewSweep.
+	SweepOption = experiments.SweepOption
+	// SweepCell identifies one grid point.
+	SweepCell = experiments.SweepCell
+	// SweepResult is one evaluated cell.
+	SweepResult = experiments.SweepResult
+	// SweepOutcome is a completed sweep with its execution/replay tallies.
+	SweepOutcome = experiments.SweepOutcome
+)
+
+// NewSweep builds a sweep grid. SweepWorkloads is required; unset axes
+// default to all four policies × native width × default size.
+func NewSweep(opts ...SweepOption) (*Sweep, error) { return experiments.NewSweep(opts...) }
+
+// RunSweep evaluates a sweep grid with cancellation between groups.
+func RunSweep(ctx context.Context, s *Sweep) (*SweepOutcome, error) { return s.Run(ctx) }
+
+// Sweep axis and behavior options (see internal/experiments for details).
+func SweepWorkloads(names ...string) SweepOption { return experiments.SweepWorkloads(names...) }
+
+// SweepPolicies selects the policy axis; the default is all four.
+func SweepPolicies(ps ...Policy) SweepOption { return experiments.SweepPolicies(ps...) }
+
+// SweepWidths selects the SIMD-width axis in lanes (0 = native).
+func SweepWidths(ws ...int) SweepOption { return experiments.SweepWidths(ws...) }
+
+// SweepSizes selects the problem-size axis (0 = workload default).
+func SweepSizes(ns ...int) SweepOption { return experiments.SweepSizes(ns...) }
+
+// SweepQuick substitutes reduced problem sizes for default-size cells.
+func SweepQuick() SweepOption { return experiments.SweepQuick() }
+
+// SweepDCBandwidth sets the data-cluster bandwidth in lines per cycle.
+func SweepDCBandwidth(lines int) SweepOption { return experiments.SweepDCBandwidth(lines) }
+
+// SweepPerfectL3 models an always-hitting L3.
+func SweepPerfectL3() SweepOption { return experiments.SweepPerfectL3() }
+
+// SweepSkipChecks drops host-side result verification.
+func SweepSkipChecks() SweepOption { return experiments.SweepSkipChecks() }
+
+// SweepVerify oracle-checks every captured trace record by record.
+func SweepVerify() SweepOption { return experiments.SweepVerify() }
+
+// SweepWorkers bounds the group worker pool (0 = GOMAXPROCS, 1 = serial).
+func SweepWorkers(k int) SweepOption { return experiments.SweepWorkers(k) }
 
 // NewTimeline creates an empty timeline recorder. Attach per-run probes
 // with Timeline.Run and a ConfigOption built by WithProbe; export with

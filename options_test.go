@@ -127,102 +127,6 @@ func TestRunWorkloadOptions(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrapperEquivalence pins every deprecated positional
-// wrapper to its options-based replacement across workloads, problem
-// sizes, engines, and policies: identical statistics (down to the
-// serialized report bytes) and identical experiment renderings.
-func TestDeprecatedWrapperEquivalence(t *testing.T) {
-	runCases := []struct {
-		name     string
-		workload string
-		policy   Policy
-		size     int
-		timed    bool
-	}{
-		{"bsearch/functional/scc", "bsearch", SCC, 256, false},
-		{"bsearch/timed/scc", "bsearch", SCC, 256, true},
-		{"bsearch/timed/default-size", "bsearch", SCC, 0, true},
-		{"vecadd/timed/ivb", "vecadd", IvyBridge, 512, true},
-		{"vecadd/functional/baseline", "vecadd", Baseline, 512, false},
-		{"urng/functional/bcc", "urng", BCC, 256, false},
-		{"urng/timed/bcc", "urng", BCC, 256, true},
-	}
-	for _, tc := range runCases {
-		t.Run("RunWorkloadN/"+tc.name, func(t *testing.T) {
-			w, err := WorkloadByName(tc.workload)
-			if err != nil {
-				t.Fatal(err)
-			}
-			gOld := NewGPUFromConfig(DefaultConfig().WithPolicy(tc.policy))
-			gNew, err := NewGPU(WithPolicy(tc.policy))
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(gOld.Cfg, gNew.Cfg) {
-				t.Fatalf("NewGPUFromConfig config differs from NewGPU:\n%+v\n%+v", gOld.Cfg, gNew.Cfg)
-			}
-
-			oldRun, err := RunWorkloadN(gOld, w, tc.size, tc.timed)
-			if err != nil {
-				t.Fatal(err)
-			}
-			opts := []RunOption{WithSize(tc.size)}
-			if tc.timed {
-				opts = append(opts, WithTimed())
-			}
-			newRun, err := RunWorkload(gNew, w, opts...)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(oldRun, newRun) {
-				t.Fatal("RunWorkloadN diverged from RunWorkload options path")
-			}
-			oldJSON, err := oldRun.JSON()
-			if err != nil {
-				t.Fatal(err)
-			}
-			newJSON, err := newRun.JSON()
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !bytes.Equal(oldJSON, newJSON) {
-				t.Fatalf("serialized reports differ:\nold: %s\nnew: %s", oldJSON, newJSON)
-			}
-		})
-	}
-
-	expCases := []struct {
-		id    string
-		quick bool
-	}{
-		{"rfarea", true},
-		{"rfarea", false}, // rfarea is config-only; full size is still instant
-		{"table3", true},
-		{"ablation-swizzle", true},
-	}
-	for _, tc := range expCases {
-		t.Run("RunExperimentTo/"+tc.id, func(t *testing.T) {
-			var oldOut, newOut bytes.Buffer
-			if err := RunExperimentTo(tc.id, &oldOut, tc.quick); err != nil {
-				t.Fatal(err)
-			}
-			opts := []ExperimentOption{WithOutput(&newOut)}
-			if tc.quick {
-				opts = append(opts, WithQuick())
-			}
-			if err := RunExperiment(tc.id, opts...); err != nil {
-				t.Fatal(err)
-			}
-			if oldOut.Len() == 0 {
-				t.Fatal("experiment rendered nothing")
-			}
-			if oldOut.String() != newOut.String() {
-				t.Fatal("RunExperimentTo output diverged from RunExperiment options path")
-			}
-		})
-	}
-}
-
 // TestRunAllExperimentsFacade smoke-tests the ordered concurrent sweep
 // through the public API.
 func TestRunAllExperimentsFacade(t *testing.T) {
