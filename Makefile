@@ -27,7 +27,7 @@ race:
 	$(GO) test -race ./...
 	$(GO) test -race -tags statsguard ./internal/stats/ ./internal/gpu/ ./internal/workloads/ ./internal/par/ ./internal/serve/
 
-.PHONY: build vet test race check bench verify fuzz-smoke timeline-smoke sweep-smoke
+.PHONY: build vet test race check bench verify fuzz-smoke timeline-smoke sweep-smoke corpus
 
 check: build vet test race
 
@@ -43,6 +43,24 @@ verify:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSCCSchedule -fuzztime $(FUZZTIME) ./internal/gpu/
 	$(GO) test -run '^$$' -fuzz FuzzMetamorphicCycles -fuzztime $(FUZZTIME) ./internal/compaction/
+	$(GO) test -run '^$$' -fuzz FuzzKernelGen -fuzztime $(FUZZTIME) ./internal/kgen/
+
+# corpus runs the seeded kernel corpus through the full differential
+# pipeline: every generated kernel checked against its straight-line
+# evaluator on the serial engine, then cross-checked on the parallel,
+# trace-replay, and timed engines under all four compaction policies
+# (docs/corpus.md). The pinned seed makes the run — including the
+# printed digest over every encoded program and its expected outputs —
+# byte-for-byte reproducible; CI pins a smaller count. On divergence
+# the minimized paste-ready repro lands in $(CORPUS_REPRO).
+CORPUS_SEED    ?= 20130624
+CORPUS_COUNT   ?= 1000
+CORPUS_PROFILE ?= all
+CORPUS_REPRO   ?= corpus-repro.go.txt
+
+corpus:
+	$(GO) run ./cmd/simd-corpus -seed $(CORPUS_SEED) -count $(CORPUS_COUNT) \
+		-profile $(CORPUS_PROFILE) -verify -emit-worst $(CORPUS_REPRO)
 
 # timeline-smoke captures a Perfetto timeline from a divergent workload
 # across all four policies, validates it with timelint (required keys,

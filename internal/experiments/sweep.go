@@ -9,6 +9,7 @@ import (
 	"intrawarp/internal/compaction"
 	"intrawarp/internal/gpu"
 	"intrawarp/internal/isa"
+	"intrawarp/internal/kgen"
 	"intrawarp/internal/obs"
 	"intrawarp/internal/oracle"
 	"intrawarp/internal/par"
@@ -33,7 +34,24 @@ import (
 // ResolveSpec returns the workload compiled at the given SIMD width in
 // lanes; width 0 selects the native kernel. Non-zero widths are only
 // available for the width-parameterizable workloads (workloads.AtWidth).
+// Generated-corpus names ("kgen:<profile>:<seed>:<index>") resolve to
+// deterministically regenerated kernels, so every consumer of this
+// function — sweeps, the CLI, the HTTP service — serves the corpus
+// through the same path as the hand-written suite.
 func ResolveSpec(name string, width int) (*workloads.Spec, error) {
+	if kgen.IsName(name) {
+		switch width {
+		case 0:
+			return kgen.SpecFromName(name)
+		case 4, 8, 16, 32:
+			return kgen.SpecFromNameAt(name, isa.Width(width))
+		default:
+			// SIMD1 is excluded: corpus geometry is a power-of-two >= 4,
+			// and silently clamping would serve a kernel whose name lies
+			// about its width.
+			return nil, fmt.Errorf("experiments: invalid SIMD width %d for corpus kernel %s (want 0, 4, 8, 16, or 32)", width, name)
+		}
+	}
 	if width == 0 {
 		return workloads.ByName(name)
 	}
@@ -43,6 +61,32 @@ func ResolveSpec(name string, width int) (*workloads.Spec, error) {
 		return nil, fmt.Errorf("experiments: invalid SIMD width %d (want 1, 4, 8, 16, or 32)", width)
 	}
 	return workloads.AtWidth(name, isa.Width(width))
+}
+
+// ExpandWorkloads resolves a mixed list of registered workload names and
+// generated-corpus names into individual validated workload names, in
+// input order. Corpus range names ("kgen:<profile>:<seed>:<lo>-<hi>",
+// half-open) expand to one entry per index, so a single sweep axis entry
+// can fan out into a whole corpus window.
+func ExpandWorkloads(names ...string) ([]string, error) {
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		if kgen.IsName(n) {
+			profile, seed, lo, hi, err := kgen.ParseRange(n)
+			if err != nil {
+				return nil, err
+			}
+			for i := lo; i < hi; i++ {
+				out = append(out, kgen.Name(profile, seed, i))
+			}
+			continue
+		}
+		if _, err := workloads.ByName(n); err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // GroupSpec identifies one trace-capture group of a sweep: the workload
@@ -191,15 +235,16 @@ type Sweep struct {
 // SweepOption adjusts a Sweep built by NewSweep.
 type SweepOption func(*Sweep) error
 
-// SweepWorkloads selects the workloads to sweep (at least one required).
+// SweepWorkloads selects the workloads to sweep (at least one
+// required). Registered names and generated-corpus names are both
+// accepted; corpus range names expand to one workload per index.
 func SweepWorkloads(names ...string) SweepOption {
 	return func(s *Sweep) error {
-		for _, n := range names {
-			if _, err := workloads.ByName(n); err != nil {
-				return err
-			}
+		expanded, err := ExpandWorkloads(names...)
+		if err != nil {
+			return err
 		}
-		s.workloads = append(s.workloads, names...)
+		s.workloads = append(s.workloads, expanded...)
 		return nil
 	}
 }

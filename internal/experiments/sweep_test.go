@@ -9,6 +9,7 @@ import (
 	"intrawarp/internal/compaction"
 	"intrawarp/internal/eu"
 	"intrawarp/internal/gpu"
+	"intrawarp/internal/kgen"
 	"intrawarp/internal/obs"
 	"intrawarp/internal/stats"
 	"intrawarp/internal/workloads"
@@ -163,6 +164,99 @@ func TestSweepWidthAxis(t *testing.T) {
 	}
 	if out.Executions != 3 {
 		t.Errorf("width sweep performed %d executions, want 3 (one per width)", out.Executions)
+	}
+}
+
+// TestSweepCorpusRange feeds a generated-corpus range plus a registered
+// workload through one sweep: the range expands to one column per
+// kernel, every corpus trace passes the per-record oracle check
+// (SweepVerify), and the whole grid is byte-identical across two runs —
+// generation determinism holding through the sweep path.
+func TestSweepCorpusRange(t *testing.T) {
+	const seed = 20130624
+	rng := kgen.RangeName("mixed", seed, 0, 3)
+	build := func() *Sweep {
+		sw, err := NewSweep(
+			SweepWorkloads(rng, "bsearch"),
+			SweepPolicies(compaction.IvyBridge, compaction.SCC),
+			SweepQuick(),
+			SweepVerify(),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sw
+	}
+	sw := build()
+	wantNames := []string{
+		kgen.Name("mixed", seed, 0),
+		kgen.Name("mixed", seed, 1),
+		kgen.Name("mixed", seed, 2),
+		"bsearch",
+	}
+	cells := sw.Cells()
+	if len(cells) != len(wantNames)*2 {
+		t.Fatalf("got %d cells, want %d", len(cells), len(wantNames)*2)
+	}
+	for i, c := range cells {
+		if want := wantNames[i/2]; c.Workload != want {
+			t.Errorf("cell %d workload = %q, want %q", i, c.Workload, want)
+		}
+	}
+	out, err := sw.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Executions != len(wantNames) {
+		t.Errorf("sweep performed %d executions, want %d (one per workload)", out.Executions, len(wantNames))
+	}
+	snapshot := func(o *SweepOutcome) []byte {
+		var buf bytes.Buffer
+		for _, r := range o.Results {
+			b, err := json.Marshal(r.Run.Report())
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf.Write(b)
+			buf.WriteByte('\n')
+		}
+		return buf.Bytes()
+	}
+	out2, err := build().Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapshot(out), snapshot(out2)) {
+		t.Error("two corpus sweeps over the same range are not byte-identical")
+	}
+}
+
+// TestResolveSpecCorpus covers corpus names through ResolveSpec: native
+// resolution, the SIMD-width override, and the rejected spellings.
+func TestResolveSpecCorpus(t *testing.T) {
+	name := kgen.Name("branchy", 99, 1)
+	spec, err := ResolveSpec(name, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := workloads.ExecuteCtx(context.Background(), gpu.New(gpu.DefaultConfig()), spec, workloads.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Width != 8 {
+		t.Errorf("width-overridden corpus kernel ran at SIMD%d, want SIMD8", run.Width)
+	}
+	if _, err := ResolveSpec(name, 0); err != nil {
+		t.Errorf("native corpus resolution failed: %v", err)
+	}
+	if _, err := ResolveSpec(name, 1); err == nil {
+		t.Error("ResolveSpec accepted SIMD1 for a corpus kernel")
+	}
+	if _, err := ExpandWorkloads("kgen:nope:1:0-3"); err == nil {
+		t.Error("ExpandWorkloads accepted an unknown profile")
+	}
+	if _, err := ExpandWorkloads("kgen:mixed:1:3-1"); err == nil {
+		t.Error("ExpandWorkloads accepted an inverted range")
 	}
 }
 

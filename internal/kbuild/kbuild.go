@@ -46,6 +46,35 @@ func New(name string, width isa.Width) *Builder {
 // Width returns the kernel's SIMD width in lanes.
 func (b *Builder) Width() int { return b.width.Lanes() }
 
+// --- Introspection ---------------------------------------------------------
+//
+// Programmatic kernel producers (the corpus generator in internal/kgen)
+// steer emission by the builder's live state instead of recovering from a
+// failed Build: how much register file is left, how deep the open control
+// stack is, whether a BREAK/CONT would be legal here, and whether the
+// builder has already failed.
+
+// Err returns the builder's sticky error: the first structural mistake
+// (orphan ELSE/ENDIF/WHILE, BREAK/CONT outside a loop, register-file
+// exhaustion). Once set it never changes — later emissions are recorded
+// but Build reports the first failure.
+func (b *Builder) Err() error { return b.err }
+
+// Len returns the number of instructions emitted so far (before the HALT
+// that Build appends).
+func (b *Builder) Len() int { return len(b.prog) }
+
+// ControlDepth returns the number of open IF/LOOP blocks.
+func (b *Builder) ControlDepth() int { return len(b.ctl) }
+
+// InLoop reports whether a BREAK or CONT would currently be legal, i.e.
+// whether any open control block is a loop.
+func (b *Builder) InLoop() bool { return b.inLoop() }
+
+// FreeRegs returns the number of unallocated 32-byte registers left in
+// the register file.
+func (b *Builder) FreeRegs() int { return 128 - b.nextReg }
+
 func (b *Builder) fail(format string, args ...interface{}) {
 	if b.err == nil {
 		b.err = fmt.Errorf("kbuild: kernel %s: %s", b.name, fmt.Sprintf(format, args...))

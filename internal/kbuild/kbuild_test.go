@@ -187,6 +187,138 @@ func TestControlFlowErrors(t *testing.T) {
 	}
 }
 
+// TestMismatchedBlockClosers crosses IF and LOOP closers: an ENDIF
+// cannot close a loop and a WHILE cannot close a conditional, even when
+// the other kind of block is open underneath.
+func TestMismatchedBlockClosers(t *testing.T) {
+	b := New("t", isa.SIMD16)
+	b.Loop()
+	b.EndIf() // innermost open block is a LOOP
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "ENDIF without open IF") {
+		t.Errorf("ENDIF closing a LOOP: err = %v", err)
+	}
+	b2 := New("t", isa.SIMD16)
+	b2.If(isa.F0)
+	b2.While(isa.F0) // innermost open block is an IF
+	if _, err := b2.Build(); err == nil || !strings.Contains(err.Error(), "WHILE without open LOOP") {
+		t.Errorf("WHILE closing an IF: err = %v", err)
+	}
+	// Interleaved: LOOP { IF { } WHILE — the IF is still open at the WHILE.
+	b3 := New("t", isa.SIMD16)
+	b3.Loop()
+	b3.If(isa.F0)
+	b3.While(isa.F0)
+	if _, err := b3.Build(); err == nil || !strings.Contains(err.Error(), "WHILE without open LOOP") {
+		t.Errorf("WHILE across an open IF: err = %v", err)
+	}
+	// ELSE after the IF was already ELSEd.
+	b4 := New("t", isa.SIMD16)
+	b4.If(isa.F0)
+	b4.Else()
+	b4.Else()
+	if _, err := b4.Build(); err == nil || !strings.Contains(err.Error(), "ELSE without open IF") {
+		t.Errorf("double ELSE: err = %v", err)
+	}
+}
+
+// TestBreakContRequireLoop covers every break-family emitter outside a
+// loop, including BreakAll and the case where only an IF is open.
+func TestBreakContRequireLoop(t *testing.T) {
+	for name, emit := range map[string]func(b *Builder){
+		"Break":        func(b *Builder) { b.Break(isa.F0) },
+		"BreakAll":     func(b *Builder) { b.BreakAll() },
+		"Cont":         func(b *Builder) { b.Cont(isa.F0) },
+		"Break-in-if":  func(b *Builder) { b.If(isa.F0); b.Break(isa.F0); b.EndIf() },
+		"BreakAll-in-if": func(b *Builder) { b.If(isa.F0); b.BreakAll(); b.EndIf() },
+	} {
+		b := New("t", isa.SIMD16)
+		emit(b)
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "outside LOOP") {
+			t.Errorf("%s outside loop: err = %v", name, err)
+		}
+		if b.Err() == nil {
+			t.Errorf("%s: Err() not sticky before Build", name)
+		}
+	}
+	// Inside a loop nested in an IF, BREAK is legal (the loop is what
+	// counts, not the innermost frame).
+	b := New("t", isa.SIMD16)
+	b.Loop()
+	b.If(isa.F0)
+	// inLoop must look through the IF frame.
+	if !b.InLoop() {
+		t.Error("InLoop() = false inside LOOP{IF{")
+	}
+	b.EndIf()
+	b.Break(isa.F0)
+	b.CmpU(isa.F0, isa.CmpEQ, b.Vec(), b.U(0))
+	b.While(isa.F0)
+	if _, err := b.Build(); err != nil {
+		t.Errorf("BREAK inside LOOP{IF{}}: %v", err)
+	}
+}
+
+// TestErrorIsSticky pins the emit-after-error contract: the first
+// failure wins, later emissions (valid or not) neither clear nor
+// replace it, and Build keeps reporting it.
+func TestErrorIsSticky(t *testing.T) {
+	b := New("t", isa.SIMD16)
+	b.Else() // first error
+	first := b.Err()
+	if first == nil || !strings.Contains(first.Error(), "ELSE without open IF") {
+		t.Fatalf("Err() after orphan ELSE = %v", first)
+	}
+	// Keep emitting: a valid sequence, then a second structural mistake.
+	v := b.Vec()
+	b.AddU(v, v, b.U(1))
+	b.Break(isa.F0) // would be a different error
+	if b.Err() != first {
+		t.Errorf("Err() changed after more emission: %v", b.Err())
+	}
+	if _, err := b.Build(); err != first {
+		t.Errorf("Build() = %v, want the first error %v", err, first)
+	}
+	// Build is repeatable and still failing.
+	if _, err := b.Build(); err != first {
+		t.Errorf("second Build() = %v, want %v", err, first)
+	}
+}
+
+// TestIntrospection covers the generator-facing state accessors.
+func TestIntrospection(t *testing.T) {
+	b := New("t", isa.SIMD16)
+	if b.Len() != 0 || b.ControlDepth() != 0 || b.InLoop() {
+		t.Fatal("fresh builder not empty")
+	}
+	free := b.FreeRegs()
+	if free != 128-eu.FirstFree {
+		t.Fatalf("fresh FreeRegs = %d", free)
+	}
+	b.Vec() // SIMD16 u32 = 2 registers
+	if b.FreeRegs() != free-2 {
+		t.Errorf("FreeRegs after Vec = %d, want %d", b.FreeRegs(), free-2)
+	}
+	b.If(isa.F0)
+	b.Loop()
+	if b.ControlDepth() != 2 || !b.InLoop() {
+		t.Errorf("depth=%d inLoop=%v inside IF{LOOP{", b.ControlDepth(), b.InLoop())
+	}
+	n := b.Len()
+	b.MovU(b.Vec(), b.U(0))
+	if b.Len() != n+1 {
+		t.Errorf("Len after one emit = %d, want %d", b.Len(), n+1)
+	}
+	b.CmpU(isa.F0, isa.CmpEQ, b.Vec(), b.U(0))
+	b.While(isa.F0)
+	b.EndIf()
+	if b.ControlDepth() != 0 || b.InLoop() {
+		t.Error("depth not restored after closing blocks")
+	}
+	if b.Err() != nil {
+		t.Errorf("clean sequence produced error %v", b.Err())
+	}
+}
+
 func TestEmitDefaultsWidth(t *testing.T) {
 	b := New("t", isa.SIMD8)
 	b.Mov(b.Vec(), b.F(0))

@@ -1,0 +1,250 @@
+package kgen
+
+// The reference evaluator: a straight-line Go interpretation of the
+// statement AST, mirroring the device ALU's exact wraparound u32
+// semantics (including the &63 shift masking) so integer kernels match
+// bit for bit. Per-lane statements evaluate lane by lane; the only
+// cross-lane constructs — SLM exchanges — are confined to top level,
+// where every lane is active, and are applied as a group-wide snapshot
+// rotation between per-lane phases.
+
+// Expected holds the reference contents of every checked buffer after
+// one kernel execution.
+type Expected struct {
+	Out     []uint32 // out[gid] = fold of the final state vars
+	Scratch []uint32 // bijective scatter target
+	Acc     []uint32 // shared atomic accumulator
+}
+
+// inputWords builds the deterministic gather source buffer.
+func inputWords(p Params) []uint32 {
+	r := newRNG(p.Seed ^ 0xC0FFEE123456789A)
+	out := make([]uint32, p.InWords)
+	for i := range out {
+		out[i] = r.u32()
+	}
+	return out
+}
+
+// scratchInit builds the deterministic initial scratter-buffer fill, so
+// never-written slots are still checkable.
+func scratchInit(p Params) []uint32 {
+	out := make([]uint32, p.Lanes())
+	for i := range out {
+		out[i] = hash32(uint32(i), uint32(p.Seed)^0x5CA77E12)
+	}
+	return out
+}
+
+type ctlSig uint8
+
+const (
+	sigNone ctlSig = iota
+	sigBreak
+	sigCont
+)
+
+type laneCtx struct {
+	gid     uint32
+	v       []uint32
+	ctrs    []uint32 // open-loop counters, innermost last
+	pr      *program
+	in      []uint32
+	scratch []uint32
+	acc     []uint32
+}
+
+func (pr *program) eval() *Expected {
+	p := pr.p
+	lanes := p.Lanes()
+	in := inputWords(p)
+	exp := &Expected{
+		Out:     make([]uint32, lanes),
+		Scratch: scratchInit(p),
+		Acc:     make([]uint32, accWords),
+	}
+	state := make([][]uint32, lanes)
+	for g := 0; g < lanes; g++ {
+		v := make([]uint32, p.States)
+		v[0] = uint32(g)
+		for i := 1; i < int(p.States); i++ {
+			v[i] = hash32(uint32(g), stateSalt(p, i))
+		}
+		state[g] = v
+	}
+
+	gs := p.GroupSize()
+	for si := range pr.stmts {
+		s := &pr.stmts[si]
+		switch s.kind {
+		case stSLM:
+			// Group-wide rotation over a snapshot of the source var.
+			src := make([]uint32, lanes)
+			for g := 0; g < lanes; g++ {
+				src[g] = state[g][s.src]
+			}
+			for g := 0; g < lanes; g++ {
+				base := g &^ (gs - 1)
+				lid := g & (gs - 1)
+				peer := base | ((lid + int(s.rot)) & (gs - 1))
+				state[g][s.dst] = src[peer]
+			}
+		case stBarrier:
+			// Uniform; no dataflow effect.
+		default:
+			for g := 0; g < lanes; g++ {
+				lc := laneCtx{gid: uint32(g), v: state[g], pr: pr,
+					in: in, scratch: exp.Scratch, acc: exp.Acc}
+				lc.stmt(s)
+			}
+		}
+	}
+
+	for g := 0; g < lanes; g++ {
+		mix := state[g][0]
+		for i := 1; i < int(p.States); i++ {
+			mix = mix*0x01000193 ^ state[g][i]
+		}
+		exp.Out[g] = mix
+	}
+	return exp
+}
+
+func (lc *laneCtx) val(o operand) uint32 {
+	switch o.kind {
+	case opndImm:
+		return o.imm
+	case opndCtr:
+		return lc.ctrs[o.idx]
+	default:
+		return lc.v[o.idx]
+	}
+}
+
+func (lc *laneCtx) block(stmts []stmt) ctlSig {
+	for i := range stmts {
+		if sig := lc.stmt(&stmts[i]); sig != sigNone {
+			return sig
+		}
+	}
+	return sigNone
+}
+
+func (lc *laneCtx) stmt(s *stmt) ctlSig {
+	switch s.kind {
+	case stALU:
+		a, b := lc.val(s.a), lc.val(s.b)
+		var r uint32
+		switch s.op {
+		case aAdd:
+			r = a + b
+		case aSub:
+			r = a - b
+		case aMul:
+			r = a * b
+		case aMad:
+			r = a*b + lc.val(s.c)
+		case aAnd:
+			r = a & b
+		case aOr:
+			r = a | b
+		case aXor:
+			r = a ^ b
+		case aShl:
+			// Device semantics: shift amount masked with &63; amounts
+			// ≥32 clear the 32-bit register.
+			r = uint32(uint64(a) << (b & 63))
+		case aShr:
+			r = uint32(uint64(a) >> (b & 63))
+		case aMin:
+			r = a
+			if b < r {
+				r = b
+			}
+		case aMax:
+			r = a
+			if b > r {
+				r = b
+			}
+		}
+		lc.v[s.dst] = r
+
+	case stSel:
+		if cmpU(s.cond, lc.val(s.a), lc.val(s.b)) {
+			lc.v[s.dst] = lc.val(s.c)
+		}
+
+	case stGather:
+		var idx uint32
+		if s.indirect {
+			idx = hash32(lc.v[s.a.idx], s.salt)
+		} else {
+			idx = lc.gid*s.stride + s.offset
+		}
+		lc.v[s.dst] = lc.in[idx&uint32(lc.pr.p.InWords-1)]
+
+	case stScatter:
+		lc.scratch[(lc.gid*lc.pr.odd)&uint32(lc.pr.p.Lanes()-1)] = lc.v[s.src]
+
+	case stAtomic:
+		lc.acc[hash32(lc.gid, s.salt)&(accWords-1)] += lc.v[s.src]
+
+	case stIf:
+		if hash32(lc.gid>>s.gran, s.salt)&255 < uint32(s.thresh) {
+			return lc.block(s.then)
+		} else if s.els != nil {
+			return lc.block(s.els)
+		}
+
+	case stLoop:
+		trips := uint32(s.trips) + (hash32(lc.gid, s.salt) & uint32(s.skew))
+		lc.ctrs = append(lc.ctrs, 0)
+		top := len(lc.ctrs) - 1
+		for ctr := uint32(1); ; ctr++ {
+			lc.ctrs[top] = ctr
+			sig := lc.block(s.body)
+			if sig == sigBreak {
+				break
+			}
+			// sigCont falls through to the while check, exactly like
+			// the EU's CONT lanes rejoining at WHILE.
+			if !(ctr < trips) {
+				break
+			}
+		}
+		lc.ctrs = lc.ctrs[:top]
+
+	case stBreak:
+		if hash32(lc.v[s.src]^lc.ctrs[len(lc.ctrs)-1], s.salt)&255 < uint32(s.thresh) {
+			return sigBreak
+		}
+
+	case stCont:
+		if hash32(lc.v[s.src]^lc.ctrs[len(lc.ctrs)-1], s.salt)&255 < uint32(s.thresh) {
+			return sigCont
+		}
+
+	case stDeadEM, stSLM, stBarrier:
+		// Dead dataflow / handled at the program level.
+	}
+	return sigNone
+}
+
+// cmpU mirrors the device's unsigned comparison for the isa.CondMod
+// values in declaration order (EQ, NE, LT, LE, GT, GE).
+func cmpU(cond uint8, a, b uint32) bool {
+	switch cond {
+	case 0:
+		return a == b
+	case 1:
+		return a != b
+	case 2:
+		return a < b
+	case 3:
+		return a <= b
+	case 4:
+		return a > b
+	default:
+		return a >= b
+	}
+}

@@ -1,0 +1,94 @@
+package kgen
+
+// Shrink greedily minimizes Params while the failing predicate holds:
+// repro minimization for corpus divergences. Each round proposes
+// single-field reductions (structure first — statement budget, nesting,
+// geometry — then feature rates toward zero); the first candidate that
+// still fails is adopted and the round restarts. The result is the
+// fixpoint: no single reduction reproduces the failure. failing must be
+// a pure function of Params (re-deriving the kernel each call), which
+// generation's determinism guarantees.
+func Shrink(p Params, failing func(Params) bool) Params {
+	p = p.Normalize()
+	if !failing(p) {
+		return p
+	}
+	for {
+		improved := false
+		for _, cand := range shrinkCandidates(p) {
+			if cand == p {
+				continue
+			}
+			if failing(cand) {
+				p = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return p
+		}
+	}
+}
+
+func shrinkCandidates(p Params) []Params {
+	var out []Params
+	add := func(f func(*Params)) {
+		c := p
+		f(&c)
+		out = append(out, c.Normalize())
+	}
+	// Structure first: the biggest kernels shrink fastest.
+	if p.Stmts > 3 {
+		add(func(c *Params) { c.Stmts = c.Stmts / 2 })
+		add(func(c *Params) { c.Stmts-- })
+	}
+	if p.MaxDepth > 0 {
+		add(func(c *Params) { c.MaxDepth-- })
+	}
+	if p.Groups > 1 {
+		add(func(c *Params) { c.Groups /= 2 })
+	}
+	if p.TPG > 1 {
+		add(func(c *Params) { c.TPG /= 2 })
+	}
+	if p.Width > 4 {
+		add(func(c *Params) { c.Width /= 2 })
+	}
+	if p.States > 2 {
+		add(func(c *Params) { c.States-- })
+	}
+	if p.TripBase > 1 {
+		add(func(c *Params) { c.TripBase-- })
+	}
+	if p.TripSkew > 0 {
+		add(func(c *Params) { c.TripSkew /= 2 })
+	}
+	if p.InWords > 64 {
+		add(func(c *Params) { c.InWords /= 2 })
+	}
+	// Feature rates toward zero, one axis at a time.
+	for _, f := range []func(*Params){
+		func(c *Params) { c.SLMRate = 0 },
+		func(c *Params) { c.AtomicRate = 0 },
+		func(c *Params) { c.EMRate = 0 },
+		func(c *Params) { c.ContRate = 0 },
+		func(c *Params) { c.BreakRate = 0 },
+		func(c *Params) { c.IndirectRate = 0 },
+		func(c *Params) { c.MemRate = 0 },
+		func(c *Params) { c.LoopRate = 0 },
+		func(c *Params) { c.IfRate = 0 },
+	} {
+		add(f)
+	}
+	// Divergence knobs toward uniformity.
+	if p.GranLog2 < 6 {
+		add(func(c *Params) { c.GranLog2 = 6 })
+	}
+	// Toward 0 only: proposing both 0 and 100 ("all lanes skip" vs
+	// "all lanes take") would oscillate forever when both still fail.
+	if p.BranchBias != 0 {
+		add(func(c *Params) { c.BranchBias = 0 })
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package kgen
+
+import (
+	"fmt"
+
+	"intrawarp/internal/gpu"
+	"intrawarp/internal/isa"
+	"intrawarp/internal/workloads"
+)
+
+// Kernel is one generated kernel: the assembled program plus everything
+// needed to re-derive and check it.
+type Kernel struct {
+	Params Params
+	ISA    *isa.Kernel
+	prog   *program
+}
+
+// Generate builds the kernel determined by p (normalized first).
+func Generate(p Params) (*Kernel, error) {
+	return generateNamed(fmt.Sprintf("kgen-%x", p.Seed), p)
+}
+
+func generateNamed(name string, p Params) (*Kernel, error) {
+	p = p.Normalize()
+	pr := buildAST(p)
+	k, err := lower(name, pr)
+	if err != nil {
+		return nil, err
+	}
+	return &Kernel{Params: p, ISA: k, prog: pr}, nil
+}
+
+// Expected computes the reference buffer contents via the straight-line
+// evaluator.
+func (k *Kernel) Expected() *Expected { return k.prog.eval() }
+
+// Spec wraps the kernel as a registered-workload-shaped Spec so every
+// existing consumer — oracle.Diff, experiments sweeps, the HTTP
+// service — runs corpus kernels through the exact machinery the
+// hand-written suite uses, including the end-to-end functional check
+// against the evaluator.
+func (k *Kernel) Spec(name string, divergent bool) *workloads.Spec {
+	p := k.Params
+	return &workloads.Spec{
+		Name:      name,
+		Class:     "kgen",
+		Divergent: divergent,
+		DefaultN:  p.Lanes(),
+		Setup: func(g *gpu.GPU, n int) (*workloads.Instance, error) {
+			// Geometry is fixed by Params; the problem-size knob is
+			// meaningless for generated kernels and ignored.
+			in := g.AllocU32(int(p.InWords), inputWords(p))
+			scr := g.AllocU32(p.Lanes(), scratchInit(p))
+			acc := g.AllocU32(accWords, make([]uint32, accWords))
+			out := g.AllocU32(p.Lanes(), make([]uint32, p.Lanes()))
+			ls := gpu.LaunchSpec{
+				Kernel:     k.ISA,
+				GlobalSize: p.Lanes(),
+				GroupSize:  p.GroupSize(),
+				Args:       []uint32{in, scr, acc, out},
+			}
+			check := func() error {
+				exp := k.Expected()
+				if err := compareU32(g, "out", out, exp.Out); err != nil {
+					return err
+				}
+				if err := compareU32(g, "scratch", scr, exp.Scratch); err != nil {
+					return err
+				}
+				return compareU32(g, "acc", acc, exp.Acc)
+			}
+			return workloads.Single(ls, check), nil
+		},
+	}
+}
+
+func compareU32(g *gpu.GPU, buf string, addr uint32, want []uint32) error {
+	got := g.ReadBufferU32(addr, len(want))
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("kgen: %s[%d] = %#x, evaluator says %#x", buf, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// SpecFor derives, generates, and wraps corpus kernel (profile, seed,
+// index) under its canonical name.
+func SpecFor(profile string, seed uint64, index int) (*workloads.Spec, error) {
+	p, err := Derive(profile, seed, index)
+	if err != nil {
+		return nil, err
+	}
+	k, err := generateNamed(Name(profile, seed, index), p)
+	if err != nil {
+		return nil, err
+	}
+	return k.Spec(Name(profile, seed, index), profile != "coherent"), nil
+}
+
+// SpecFromName resolves a single-kernel corpus name.
+func SpecFromName(name string) (*workloads.Spec, error) {
+	profile, seed, index, err := ParseName(name)
+	if err != nil {
+		return nil, err
+	}
+	return SpecFor(profile, seed, index)
+}
+
+// SpecFromNameAt resolves a corpus name with an explicit SIMD width
+// override (the corpus analogue of workloads.AtWidth). The derived
+// Params keep every other field, so the kernel shape stays comparable
+// across the width axis.
+func SpecFromNameAt(name string, w isa.Width) (*workloads.Spec, error) {
+	profile, seed, index, err := ParseName(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Derive(profile, seed, index)
+	if err != nil {
+		return nil, err
+	}
+	p.Width = uint8(w.Lanes())
+	full := fmt.Sprintf("%s@SIMD%d", Name(profile, seed, index), w.Lanes())
+	k, err := generateNamed(full, p)
+	if err != nil {
+		return nil, err
+	}
+	return k.Spec(full, profile != "coherent"), nil
+}
+
+// CorpusSpecs expands a seed window [lo, hi) into specs, in index
+// order.
+func CorpusSpecs(profile string, seed uint64, lo, hi int) ([]*workloads.Spec, error) {
+	if hi <= lo || lo < 0 {
+		return nil, fmt.Errorf("kgen: bad corpus window [%d, %d)", lo, hi)
+	}
+	out := make([]*workloads.Spec, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		s, err := SpecFor(profile, seed, i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

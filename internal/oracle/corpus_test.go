@@ -1,0 +1,180 @@
+package oracle
+
+import (
+	"context"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"intrawarp/internal/compaction"
+	"intrawarp/internal/kgen"
+	"intrawarp/internal/mask"
+	"intrawarp/internal/stats"
+	"intrawarp/internal/workloads"
+)
+
+const corpusTestSeed = 20130624
+
+// TestCorpusDiffClean pushes a small window of every generator profile
+// through the full differential pipeline (stages 1-4): generated
+// kernels must match the straight-line evaluator, the per-record oracle
+// invariants, the offline analyzer, and the parallel engine.
+func TestCorpusDiffClean(t *testing.T) {
+	for _, profile := range kgen.Profiles {
+		sum, err := DiffCorpus(context.Background(), CorpusOptions{
+			Profile: profile, Seed: corpusTestSeed, Lo: 0, Hi: 4,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", profile, err)
+		}
+		if sum.Workloads != 4 || sum.Records == 0 {
+			t.Fatalf("%s: covered %d workloads, %d records", profile, sum.Workloads, sum.Records)
+		}
+	}
+}
+
+// TestCorpusDiffTimedSmoke runs one corpus kernel through the timed
+// engine under all four policies.
+func TestCorpusDiffTimedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed runs under four policies")
+	}
+	sum, err := DiffCorpus(context.Background(), CorpusOptions{
+		Profile: "mixed", Seed: corpusTestSeed, Lo: 0, Hi: 1,
+		Oracle: Options{Timed: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TimedRuns != NumPolicies {
+		t.Fatalf("covered %d timed runs, want %d", sum.TimedRuns, NumPolicies)
+	}
+}
+
+// TestCorpusCatchesSeededFault is the corpus acceptance check: a
+// planted engine-cost fault must be caught by the generated corpus,
+// attributed to the right rule, and shrunk to a paste-ready repro whose
+// Params literal still reproduces the failure.
+func TestCorpusCatchesSeededFault(t *testing.T) {
+	faulty := func(p compaction.Policy, m mask.Mask, width, group int) int {
+		c := EngineCost(p, m, width, group)
+		if p == compaction.SCC && PopCount(uint32(m), width) > group {
+			c++ // overcharge compressible masks
+		}
+		return c
+	}
+
+	_, err := DiffCorpus(context.Background(), CorpusOptions{
+		Profile: "mixed", Seed: corpusTestSeed, Lo: 0, Hi: 4,
+		Oracle: Options{Cost: faulty},
+	})
+	if err == nil {
+		t.Fatal("corpus accepted an SCC cost model with a seeded off-by-one")
+	}
+	cf, ok := err.(*CorpusFailure)
+	if !ok {
+		t.Fatalf("DiffCorpus returned %T (%v), want *CorpusFailure", err, err)
+	}
+	if cf.Divergence == nil || cf.Divergence.Repro == nil {
+		t.Fatalf("corpus failure carries no minimized repro: %v", cf)
+	}
+	if cf.Divergence.Repro.Rule != "cost/scc-exact" {
+		t.Errorf("repro rule = %q, want cost/scc-exact", cf.Divergence.Repro.Rule)
+	}
+	if !kgen.IsName(cf.Name) {
+		t.Errorf("failure name %q is not a corpus name", cf.Name)
+	}
+
+	// The shrunk params must themselves still reproduce under the same
+	// injected fault...
+	if !corpusParamsFail(context.Background(), cf.Shrunk, &Options{Cost: faulty}) {
+		t.Errorf("shrunk params %+v no longer reproduce the divergence", cf.Shrunk)
+	}
+	// ...and must be a genuine reduction fixpoint, not the originals
+	// passed through (the seeded fault fires on any >group-popcount
+	// mask, so structure shrinks a long way).
+	if cf.Shrunk.Stmts > cf.Params.Stmts || cf.Shrunk.Width > cf.Params.Width {
+		t.Errorf("shrunk params grew: %+v -> %+v", cf.Params, cf.Shrunk)
+	}
+
+	// The rendered repro must be parseable Go with the Params literal
+	// and the corpus coordinates embedded.
+	gt := cf.GoTest()
+	for _, want := range []string{"kgen.Params{", "kgen.Generate", "oracle.Diff"} {
+		if !strings.Contains(gt, want) {
+			t.Errorf("rendered corpus repro lacks %q:\n%s", want, gt)
+		}
+	}
+	if _, perr := parser.ParseFile(token.NewFileSet(), "repro.go", "package repros\n"+gt, 0); perr != nil {
+		t.Errorf("rendered corpus repro does not parse: %v\n%s", perr, gt)
+	}
+
+	// Fault reverted: the identical window is clean.
+	if _, err := DiffCorpus(context.Background(), CorpusOptions{
+		Profile: "mixed", Seed: corpusTestSeed, Lo: 0, Hi: 4,
+	}); err != nil {
+		t.Fatalf("clean corpus run diverged: %v", err)
+	}
+}
+
+// TestReprosCompileSideBySide pins the repro-name collision fix: two
+// distinct minimized repros — different policies, widths, and masks, as
+// one corpus run routinely produces — must render as one parseable file
+// with two distinct test functions.
+func TestReprosCompileSideBySide(t *testing.T) {
+	r1 := &Repro{Rule: "cost/scc-exact", Mask: 0x1F, Width: 16, Group: 4, Policy: "scc", Engine: 3, Oracle: 2}
+	r2 := &Repro{Rule: "cost/bcc-exact", Mask: 0xF0F, Width: 32, Group: 4, Policy: "bcc", Engine: 5, Oracle: 6}
+	r3 := &Repro{Rule: "schedule/scc-sound", Mask: 0x1F, Width: 8, Group: 4}
+	src := "package repros\n" + r1.GoTest() + "\n" + r2.GoTest() + "\n" + r3.GoTest()
+	if _, err := parser.ParseFile(token.NewFileSet(), "repros.go", src, 0); err != nil {
+		t.Fatalf("side-by-side repros do not parse: %v\n%s", err, src)
+	}
+	names := map[string]bool{}
+	for _, want := range []string{r1.TestName(), r2.TestName(), r3.TestName()} {
+		if names[want] {
+			t.Fatalf("duplicate generated test name %s", want)
+		}
+		names[want] = true
+		if !strings.Contains(src, "func "+want+"(t *testing.T)") {
+			t.Errorf("rendered file lacks %s", want)
+		}
+	}
+	if r1.TestName() == r2.TestName() || r1.TestName() == r3.TestName() {
+		t.Fatal("distinct repros share a test name")
+	}
+}
+
+// TestCorpusObserveHook: the Observe callback sees every corpus
+// kernel's serial statistics exactly once, in window order.
+func TestCorpusObserveHook(t *testing.T) {
+	var seen []string
+	sum, err := DiffCorpus(context.Background(), CorpusOptions{
+		Profile: "coherent", Seed: corpusTestSeed, Lo: 3, Hi: 6,
+		Oracle: Options{Observe: func(spec *workloads.Spec, serial *stats.Run) {
+			if serial == nil || serial.Instructions == 0 {
+				t.Errorf("observe %s: empty serial stats", spec.Name)
+			}
+			seen = append(seen, spec.Name)
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		kgen.Name("coherent", corpusTestSeed, 3),
+		kgen.Name("coherent", corpusTestSeed, 4),
+		kgen.Name("coherent", corpusTestSeed, 5),
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("observed %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("observed %v, want %v (window order)", seen, want)
+		}
+	}
+	if sum.Workloads != 3 {
+		t.Fatalf("summary covered %d workloads, want 3", sum.Workloads)
+	}
+}

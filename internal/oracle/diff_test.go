@@ -2,6 +2,7 @@ package oracle
 
 import (
 	"context"
+	"fmt"
 	"math/bits"
 	"strings"
 	"testing"
@@ -61,7 +62,9 @@ func TestDiffCatchesSeededSCCFault(t *testing.T) {
 		t.Errorf("minimized mask %#x has %d enabled lanes, want %d", d.Repro.Mask, pop, d.Repro.Group+1)
 	}
 	gt := d.Repro.GoTest()
-	for _, want := range []string{"func TestVerifyRepro(t *testing.T)", "compaction.SCC.Cycles"} {
+	wantName := fmt.Sprintf("func TestVerifyRepro_SCC_SIMD%d_G%d_Mask%X(t *testing.T)",
+		d.Repro.Width, d.Repro.Group, d.Repro.Mask)
+	for _, want := range []string{wantName, "compaction.SCC.Cycles"} {
 		if !strings.Contains(gt, want) {
 			t.Errorf("rendered repro lacks %q:\n%s", want, gt)
 		}

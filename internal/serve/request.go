@@ -149,9 +149,17 @@ type SweepRequest struct {
 // grid order (workload-major, then width, size, policy). Each cell is
 // exactly the functional /v1/run request its stream line answers — the
 // basis of the per-cell byte-identity and cache-sharing guarantees.
+// Generated-corpus range names on the workload axis expand to one cell
+// column per index, each under its canonical single-kernel name, so
+// corpus cells share the cache with direct /v1/run requests for the
+// same kernel.
 func (r *SweepRequest) cells() ([]RunRequest, error) {
 	if len(r.Workloads) == 0 {
 		return nil, fmt.Errorf("workloads is required (at least one)")
+	}
+	names, err := experiments.ExpandWorkloads(r.Workloads...)
+	if err != nil {
+		return nil, err
 	}
 	policies := r.Policies
 	if len(policies) == 0 {
@@ -168,8 +176,8 @@ func (r *SweepRequest) cells() ([]RunRequest, error) {
 	if len(sizes) == 0 {
 		sizes = []int{0}
 	}
-	cells := make([]RunRequest, 0, len(r.Workloads)*len(widths)*len(sizes)*len(policies))
-	for _, name := range r.Workloads {
+	cells := make([]RunRequest, 0, len(names)*len(widths)*len(sizes)*len(policies))
+	for _, name := range names {
 		for _, w := range widths {
 			for _, n := range sizes {
 				for _, p := range policies {

@@ -262,6 +262,62 @@ func TestSweepFlushesPartialResultsAndDisconnectCancels(t *testing.T) {
 	}
 }
 
+// TestSweepCorpusRangeOverHTTP sweeps a generated-corpus range through
+// the API: the range expands to one cell column per kernel under its
+// canonical single-kernel name, each cell populates the /v1/run cache
+// for that name, and a malformed corpus name is rejected up front.
+func TestSweepCorpusRangeOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := post(t, ts, "/v1/sweep",
+		`{"workloads":["kgen:branchy:7:0-2"],"policies":["scc"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	results, errLines, sum := readSweep(t, bytes.NewReader(data))
+	if len(errLines) != 0 {
+		t.Fatalf("error line: %s", errLines[0])
+	}
+	if sum.Cells != 2 || sum.Executions != 2 || !sum.Complete {
+		t.Errorf("summary = %+v, want 2 cells from 2 executions, complete", sum)
+	}
+	seen := map[string]bool{}
+	for _, line := range results {
+		var probe struct {
+			Request json.RawMessage `json:"request"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatal(err)
+		}
+		var req struct {
+			Workload string `json:"workload"`
+		}
+		if err := json.Unmarshal(probe.Request, &req); err != nil {
+			t.Fatal(err)
+		}
+		seen[req.Workload] = true
+		// The cell's echoed request is a plain /v1/run request for the
+		// single-kernel name; it must already be cached and byte-identical.
+		runResp, runData := post(t, ts, "/v1/run", string(probe.Request))
+		if runResp.StatusCode != http.StatusOK {
+			t.Fatalf("replaying corpus cell: status %d (%s)", runResp.StatusCode, runData)
+		}
+		if got := runResp.Header.Get("X-Cache"); got != "hit" {
+			t.Errorf("corpus cell X-Cache = %q, want hit", got)
+		}
+		if !bytes.Equal(runData, line) {
+			t.Errorf("corpus cell bytes differ from /v1/run response\nsweep: %s\nrun:   %s", line, runData)
+		}
+	}
+	if !seen["kgen:branchy:7:0"] || !seen["kgen:branchy:7:1"] {
+		t.Errorf("range did not expand to canonical single names: %v", seen)
+	}
+
+	badResp, badData := post(t, ts, "/v1/sweep", `{"workloads":["kgen:bogus:1:0"]}`)
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed corpus name: status %d (%s), want 400", badResp.StatusCode, badData)
+	}
+}
+
 // TestSweepWidthAxisOverHTTP sweeps a width-parameterizable kernel
 // across SIMD widths through the API and checks each cell ran at its
 // width — the simdWidth axis threading end to end.
