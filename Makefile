@@ -42,6 +42,7 @@ verify:
 # its checked-in corpus.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSCCSchedule -fuzztime $(FUZZTIME) ./internal/gpu/
+	$(GO) test -run '^$$' -fuzz FuzzCalendar -fuzztime $(FUZZTIME) ./internal/gpu/
 	$(GO) test -run '^$$' -fuzz FuzzMetamorphicCycles -fuzztime $(FUZZTIME) ./internal/compaction/
 	$(GO) test -run '^$$' -fuzz FuzzKernelGen -fuzztime $(FUZZTIME) ./internal/kgen/
 

@@ -118,9 +118,17 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // BenchmarkTimedSIMD16Divergent measures the timed simulation of a
 // divergent SIMD16 workload with simulator construction excluded from the
 // timer, so ns/op and allocs/op reflect the simulation itself (workload
-// setup plus the cycle loop) rather than GPU construction.
+// setup plus the cycle loop) rather than GPU construction. Runs the
+// default event core; BenchmarkTimedSIMD16DivergentTick is its twin.
 func BenchmarkTimedSIMD16Divergent(b *testing.B) {
-	w, err := workloads.ByName("particlefilter")
+	benchTimed(b, "particlefilter", 128, gpu.EngineEvent)
+}
+
+// benchTimed runs one timed launch per iteration on the given engine
+// with simulator construction excluded from the timer.
+func benchTimed(b *testing.B, workload string, size int, eng gpu.Engine) {
+	b.Helper()
+	w, err := workloads.ByName(workload)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -128,12 +136,38 @@ func BenchmarkTimedSIMD16Divergent(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		g := gpu.New(gpu.DefaultConfig().WithPolicy(SCC))
+		cfg := gpu.DefaultConfig().WithPolicy(SCC)
+		cfg.Engine = eng
+		g := gpu.New(cfg)
 		b.StartTimer()
-		if _, err := workloads.ExecuteOpts(g, w, workloads.ExecOptions{Size: 128, Timed: true}); err != nil {
+		if _, err := workloads.ExecuteOpts(g, w, workloads.ExecOptions{Size: size, Timed: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTimedSIMD16DivergentTick is the tick-core twin of
+// BenchmarkTimedSIMD16Divergent: on this compute-bound divergent
+// workload nearly every cycle has an imminent wakeup, so the event
+// core's jump machinery is pure overhead and the pair bounds its cost
+// (cmd/benchjson reports the tick/event ratio).
+func BenchmarkTimedSIMD16DivergentTick(b *testing.B) {
+	benchTimed(b, "particlefilter", 128, gpu.EngineTick)
+}
+
+// BenchmarkTimedMemoryBound measures the event core on a BFS frontier
+// expansion whose gather/scatter traffic parks threads on DRAM for
+// hundreds of cycles at a time — the workload shape the event calendar
+// exists for. Compare against BenchmarkTimedMemoryBoundTick for the
+// skip-to-next-wakeup speedup (≥3x).
+func BenchmarkTimedMemoryBound(b *testing.B) {
+	benchTimed(b, "bfs", 2048, gpu.EngineEvent)
+}
+
+// BenchmarkTimedMemoryBoundTick is the tick-core twin of
+// BenchmarkTimedMemoryBound.
+func BenchmarkTimedMemoryBoundTick(b *testing.B) {
+	benchTimed(b, "bfs", 2048, gpu.EngineTick)
 }
 
 // BenchmarkFunctionalThroughput measures functional-model speed.

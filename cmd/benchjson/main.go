@@ -30,12 +30,62 @@ type Result struct {
 	AllocsOp int64   `json:"allocs_per_op"`
 }
 
+// EngineRatio pairs an event-core benchmark with its tick-core twin
+// (same name plus a "Tick" suffix) and reports the tick/event speed
+// ratio: >1 means the event core is faster.
+type EngineRatio struct {
+	Name          string  `json:"name"`
+	EventNsPerOp  float64 `json:"event_ns_per_op"`
+	TickNsPerOp   float64 `json:"tick_ns_per_op"`
+	TickOverEvent float64 `json:"tick_over_event"`
+}
+
 // Report is the emitted document.
 type Report struct {
-	GoOS    string   `json:"goos,omitempty"`
-	GoArch  string   `json:"goarch,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Results []Result `json:"results"`
+	GoOS    string        `json:"goos,omitempty"`
+	GoArch  string        `json:"goarch,omitempty"`
+	CPU     string        `json:"cpu,omitempty"`
+	Results []Result      `json:"results"`
+	Ratios  []EngineRatio `json:"engine_ratios,omitempty"`
+}
+
+// baseName strips the -N GOMAXPROCS suffix go test appends to
+// benchmark names ("BenchmarkX-8" → "BenchmarkX").
+func baseName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// engineRatios pairs every result named <X>Tick with its event-core
+// twin <X> and computes the tick/event speed ratios.
+func engineRatios(results []Result) []EngineRatio {
+	event := make(map[string]Result, len(results))
+	for _, r := range results {
+		event[baseName(r.Name)] = r
+	}
+	var out []EngineRatio
+	for _, r := range results {
+		name := baseName(r.Name)
+		base, ok := strings.CutSuffix(name, "Tick")
+		if !ok {
+			continue
+		}
+		ev, ok := event[base]
+		if !ok || ev.NsPerOp <= 0 {
+			continue
+		}
+		out = append(out, EngineRatio{
+			Name:          base,
+			EventNsPerOp:  ev.NsPerOp,
+			TickNsPerOp:   r.NsPerOp,
+			TickOverEvent: r.NsPerOp / ev.NsPerOp,
+		})
+	}
+	return out
 }
 
 // parseLine decodes one `BenchmarkX-8  30  5142143 ns/op  256 B/op  21 allocs/op`
@@ -99,6 +149,12 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+
+	rep.Ratios = engineRatios(rep.Results)
+	for _, r := range rep.Ratios {
+		fmt.Fprintf(os.Stderr, "benchjson: %s tick/event = %.2fx (event %.0f ns/op, tick %.0f ns/op)\n",
+			r.Name, r.TickOverEvent, r.EventNsPerOp, r.TickNsPerOp)
 	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")

@@ -113,13 +113,31 @@ type EU struct {
 	// (stats.StallKind): issued, idle, or the dominant stall reason.
 	Windows [stats.NumStallKinds]int64
 
+	// needEval is set whenever EU-visible state changed in a way that is
+	// not captured by an absolute-time threshold (writeback fired, SEND
+	// completed, GPU dispatched or released threads, instructions issued):
+	// the next arbitration window must then be evaluated exactly rather
+	// than predicted by NextWakeup's threshold scan. lastKind is the
+	// outcome of the most recent evaluated window; while needEval is
+	// false no state change can alter the outcome, so skipped windows all
+	// repeat lastKind (see SkipWindows).
+	needEval bool
+	lastKind stats.StallKind
+
+	// wakeCache memoizes the last NextWakeup result while needEval is
+	// false: with no state change the threshold scan is a pure function
+	// of EU state, so the cached value stays valid until it expires
+	// (cache ≤ now) or any needEval-setting event clears it. This makes
+	// re-arming the calendar O(1) per parked EU per landing.
+	wakeCache int64
+
 	// probe mirrors Cfg.Probe; nil disables instrumentation.
 	probe obs.Probe
 }
 
 // New creates an EU with idle threads attached to the given memory system.
 func New(id int, cfg Config, mem *memory.System) *EU {
-	e := &EU{ID: id, Cfg: cfg, mem: mem, wbMin: noWB, probe: cfg.Probe}
+	e := &EU{ID: id, Cfg: cfg, mem: mem, wbMin: noWB, needEval: true, probe: cfg.Probe}
 	e.Threads = make([]*Thread, cfg.ThreadsPerEU)
 	e.sb = make([][]span, cfg.ThreadsPerEU)
 	e.flagBusy = make([][2]int, cfg.ThreadsPerEU)
@@ -286,6 +304,15 @@ func (e *EU) Tick(now int64) {
 		e.probe.Window(e.ID, now, kind)
 	}
 	e.nextArb = (e.nextArb + 1) % n
+	// An issued window mutates scoreboards, pipes and thread states, so
+	// the next window needs an exact evaluation. A no-issue window scans
+	// every ready thread without side effects: its outcome repeats until
+	// a time threshold passes or an external event sets needEval again.
+	e.lastKind = kind
+	e.needEval = issued > 0
+	if issued > 0 {
+		e.wakeCache = 0
+	}
 }
 
 // issue functionally executes the thread's next instruction and models its
@@ -490,6 +517,8 @@ func (c *sendComp) LinesReady(ready int64) {
 		c.e.clearSpan(c.ti, c.dst)
 	}
 	c.e.outstanding[c.ti]--
+	c.e.needEval = true
+	c.e.wakeCache = 0
 	c.hasDst = false
 	if c.e.probe != nil {
 		c.e.probe.SendCompleted(obs.SendEvent{EU: c.e.ID, Thread: c.ti, Issued: c.issued, Completed: ready, Lines: c.lines})
@@ -598,6 +627,8 @@ func (e *EU) fireWritebacks(now int64) {
 		}
 		e.wb[i] = e.wb[len(e.wb)-1]
 		e.wb = e.wb[:len(e.wb)-1]
+		e.needEval = true
+		e.wakeCache = 0
 	}
 	e.wbMin = min
 }
@@ -618,6 +649,129 @@ func (e *EU) BeginLaunch() {
 		e.lastIssue[i] = 0
 		e.readyAt[i] = 0
 	}
+	e.needEval = true
+	e.wakeCache = 0
+	e.lastKind = stats.WinIdle
+}
+
+// MarkDirty tells the EU that external code (the GPU's dispatch or
+// barrier-release passes) mutated thread state it cannot observe, so the
+// next arbitration window must be evaluated exactly.
+func (e *EU) MarkDirty() {
+	e.needEval = true
+	e.wakeCache = 0
+}
+
+// NoWakeup is returned by NextWakeup when the EU needs no future tick:
+// nothing will change until an external event (memory completion,
+// dispatch, barrier release) marks it dirty.
+const NoWakeup = int64(^uint64(0) >> 1)
+
+// nextArbCycle returns the first arbitration cycle strictly after now.
+func (e *EU) nextArbCycle(now int64) int64 {
+	if i := int64(e.Cfg.IssueInterval); i > 1 {
+		return (now/i + 1) * i
+	}
+	return now + 1
+}
+
+// alignArb rounds x up to the next arbitration cycle (multiple of the
+// issue interval). A wakeup at a non-arbitration cycle would evaluate
+// nothing, so every issue-relevant threshold must be aligned up.
+func alignArb(x, interval int64) int64 {
+	if interval > 1 {
+		return (x + interval - 1) / interval * interval
+	}
+	return x
+}
+
+// NextWakeup returns the next cycle at which ticking this EU could do
+// anything, assuming Tick(now) has already run and no external event
+// intervenes. It is conservative: waking earlier than necessary is
+// always safe (the tick degenerates to a no-op window), waking later
+// would lose parity with the per-cycle engine.
+//
+// If state changed since the last evaluated window (needEval), the next
+// arbitration cycle must be evaluated exactly. Otherwise the last
+// window's outcome repeats until some absolute-time threshold passes:
+// a writeback retires (wbMin — raw, because writebacks fire on every
+// cycle and the termination check must see the EU go quiet at the exact
+// cycle), a stalled front end refills (readyAt), or — when some thread
+// is ready now — a pipe frees up. Thresholds already in the past are
+// skipped: any unblocking at or before now was visible to the window
+// just evaluated.
+func (e *EU) NextWakeup(now int64) int64 {
+	w := e.wbMin
+	if e.needEval {
+		if a := e.nextArbCycle(now); a < w {
+			w = a
+		}
+		return w
+	}
+	if c := e.wakeCache; c > now {
+		return c
+	}
+	i := int64(e.Cfg.IssueInterval)
+	anyReady := false
+	for ti, th := range e.Threads {
+		if th.State != ThreadReady {
+			continue
+		}
+		if r := e.readyAt[ti]; r > now {
+			if a := alignArb(r, i); a < w {
+				w = a
+			}
+			continue
+		}
+		anyReady = true
+	}
+	if anyReady {
+		// A ready thread blocked on an execution pipe can issue in the
+		// first window that starts at or after pipeFree-IssueInterval+1
+		// (the pipe must accept within the window); one blocked on the
+		// SEND pipe at or after sendFree.
+		for _, pf := range e.pipeFree {
+			if t := pf - i + 1; t > now {
+				if a := alignArb(t, i); a < w {
+					w = a
+				}
+			}
+		}
+		if t := e.sendFree; t > now {
+			if a := alignArb(t, i); a < w {
+				w = a
+			}
+		}
+	}
+	e.wakeCache = w
+	return w
+}
+
+// SkipWindows accounts the arbitration windows in the open interval
+// (from, to) in bulk, as the event core jumps the clock from cycle
+// `from` to cycle `to`. Every skipped window repeats the outcome of the
+// last evaluated window: the jump happens only when NextWakeup proves no
+// state change can occur before `to`, and a no-issue window's outcome
+// depends only on thread states and time thresholds that are constant
+// across the span. The rotating arbiter still advances once per window.
+func (e *EU) SkipWindows(from, to int64) {
+	i := int64(e.Cfg.IssueInterval)
+	if i < 1 {
+		i = 1
+	}
+	firstArb := alignArb(from+1, i)
+	if firstArb >= to {
+		return
+	}
+	k := (to - 1 - firstArb) / i
+	k++
+	e.Windows[e.lastKind] += k
+	if e.probe != nil {
+		for s := firstArb; s < to; s += i {
+			e.probe.Window(e.ID, s, e.lastKind)
+		}
+	}
+	e.nextArb = int((int64(e.nextArb) + k) % int64(len(e.Threads)))
 }
 
 // Quiet reports whether the EU has no runnable work and nothing in flight:

@@ -1,0 +1,99 @@
+package gpu
+
+// The event calendar of the event-driven timed core (DESIGN.md §13): a
+// hand-rolled min-heap of wakeup events keyed by cycle. container/heap
+// would box every event into an interface on Push; the calendar is
+// re-armed on every event-loop iteration, so it operates on the concrete
+// type directly and reuses one preallocated backing array.
+
+// Event sources, in tie-break priority order. The order is irrelevant to
+// the simulation (the loop only jumps to the minimum cycle and then
+// re-evaluates everything at that cycle) but makes pop order fully
+// deterministic for coincident events, which the fuzz target and any
+// future multi-event-per-iteration consumer rely on.
+const (
+	srcDispatch uint8 = iota // retry workgroup dispatch after a retire
+	srcMemory                // data-cluster admission or completion
+	srcEU                    // per-EU wakeup (seq = EU index)
+)
+
+// wakeup is one scheduled event: wake the simulation at the given cycle.
+type wakeup struct {
+	cycle  int64
+	source uint8
+	seq    int32
+}
+
+// before is the strict total order of the calendar: cycle, then source,
+// then sequence number.
+func (w wakeup) before(o wakeup) bool {
+	if w.cycle != o.cycle {
+		return w.cycle < o.cycle
+	}
+	if w.source != o.source {
+		return w.source < o.source
+	}
+	return w.seq < o.seq
+}
+
+// calendar is the min-heap. The zero value is ready to use.
+type calendar struct {
+	h []wakeup
+}
+
+// reset empties the calendar, keeping its backing array.
+func (c *calendar) reset() { c.h = c.h[:0] }
+
+// len reports the number of scheduled events.
+func (c *calendar) len() int { return len(c.h) }
+
+// push schedules an event.
+func (c *calendar) push(w wakeup) {
+	c.h = append(c.h, w)
+	s := c.h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].before(s[parent]) {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+// min returns the earliest event without removing it.
+func (c *calendar) min() (wakeup, bool) {
+	if len(c.h) == 0 {
+		return wakeup{}, false
+	}
+	return c.h[0], true
+}
+
+// pop removes and returns the earliest event. It panics on an empty
+// calendar, mirroring slice index panics elsewhere.
+func (c *calendar) pop() wakeup {
+	s := c.h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	c.h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s[l].before(s[min]) {
+			min = l
+		}
+		if r < n && s[r].before(s[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}

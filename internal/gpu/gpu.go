@@ -20,11 +20,50 @@ import (
 	"intrawarp/internal/stats"
 )
 
+// Engine selects the timed-run core.
+type Engine uint8
+
+const (
+	// EngineEvent is the event-driven core (the default): the cycle
+	// counter jumps straight to the next scheduled wakeup — memory
+	// completion, writeback, pipe-free, front-end refill, dispatch retry
+	// — and skipped arbitration windows are accounted in bulk. Produces
+	// statistics bit-identical to EngineTick (DESIGN.md §13).
+	EngineEvent Engine = iota
+	// EngineTick is the original tick-every-cycle core, kept as an
+	// escape hatch so CI can differentially diff the two.
+	EngineTick
+)
+
+// String returns the flag spelling of the engine.
+func (e Engine) String() string {
+	if e == EngineTick {
+		return "tick"
+	}
+	return "event"
+}
+
+// ParseEngine parses a -engine flag value. The empty string selects the
+// default event core.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "event":
+		return EngineEvent, nil
+	case "tick":
+		return EngineTick, nil
+	}
+	return 0, fmt.Errorf("gpu: unknown engine %q (want event or tick)", s)
+}
+
 // Config describes the whole GPU.
 type Config struct {
 	NumEUs int
 	EU     eu.Config
 	Mem    memory.Config
+
+	// Engine selects the timed-run core; the zero value is the
+	// event-driven core. Functional runs ignore it.
+	Engine Engine
 
 	// MaxCycles aborts a timed run that exceeds this budget (simulator
 	// hang guard). Zero means the default of 1e9.
@@ -144,6 +183,11 @@ type GPU struct {
 	slmPool []*memory.SLM
 	live    []*workgroup
 	slots   []int
+
+	// cal is the event core's wakeup calendar, re-armed every iteration;
+	// its backing array is preallocated in New so arming allocates
+	// nothing.
+	cal calendar
 }
 
 // getWorkgroup reuses or creates a workgroup record with a zeroed SLM.
@@ -191,6 +235,7 @@ func New(cfg Config) *GPU {
 	for i := 0; i < cfg.NumEUs; i++ {
 		g.EUs = append(g.EUs, eu.New(i, cfg.EU, g.Mem))
 	}
+	g.cal.h = make([]wakeup, 0, cfg.NumEUs+2)
 	return g
 }
 
@@ -269,10 +314,12 @@ func (g *GPU) Run(spec LaunchSpec) (*stats.Run, error) {
 	return g.RunCtx(context.Background(), spec)
 }
 
-// ctxCheckMask gates how often the timed cycle loop polls for
-// cancellation: every 4096 simulated cycles, far finer than a workgroup
-// lifetime, at negligible cost.
-const ctxCheckMask = 1<<12 - 1
+// ctxCheckInterval gates how often the timed loop polls for
+// cancellation: at the first event batch at least 4096 simulated cycles
+// after the previous poll — far finer than a workgroup lifetime, at
+// negligible cost, and jump-aware (a calendar jump past the watermark
+// polls at the landing rather than waiting for an exact multiple).
+const ctxCheckInterval = 1 << 12
 
 // RunCtx is Run with cancellation: when ctx is cancelled or its deadline
 // passes, the simulation stops within a few thousand simulated cycles
@@ -302,7 +349,20 @@ func (g *GPU) RunCtx(ctx context.Context, spec LaunchSpec) (*stats.Run, error) {
 	nextWG := 0
 	live := g.live[:0]
 	var cycle int64
+	nextCtxCheck := int64(ctxCheckInterval)
+	arbI := int64(g.Cfg.EU.IssueInterval)
+	if arbI < 1 {
+		arbI = 1
+	}
+	g.Mem.ResetClock()
 
+	// Each iteration simulates exactly one cycle, identically under both
+	// engines; they differ only in how the clock advances afterwards. The
+	// tick core steps to cycle+1. The event core jumps to the earliest
+	// calendar wakeup, first accounting the skipped arbitration windows in
+	// bulk — conservative wakeups make early landings harmless (they
+	// degenerate to per-cycle stepping), so the two cores visit the same
+	// state-changing cycles and produce bit-identical statistics.
 	for {
 		g.Mem.Tick(cycle)
 		for _, e := range g.EUs {
@@ -323,6 +383,7 @@ func (g *GPU) RunCtx(ctx context.Context, spec LaunchSpec) (*stats.Run, error) {
 					initThread(th, &spec, nextWG, t, wg.slm, run)
 					wg.members = append(wg.members, th)
 				}
+				e.MarkDirty()
 				if probe != nil {
 					probe.WorkgroupDispatched(obs.WGEvent{EU: e.ID, WG: nextWG, Cycle: cycle, Threads: threadsPerWG})
 				}
@@ -338,7 +399,12 @@ func (g *GPU) RunCtx(ctx context.Context, spec LaunchSpec) (*stats.Run, error) {
 
 		// Barrier release: when every member of a workgroup is parked.
 		// Retired workgroups swap-remove from the live list (order is
-		// irrelevant) and return to the pools.
+		// irrelevant) and return to the pools. Releases and retires
+		// mutate thread state behind the EUs' backs, so their EUs are
+		// marked dirty; a retire additionally frees dispatch slots, which
+		// the tick core would fill next cycle — the event core schedules
+		// a dispatch-retry wakeup at cycle+1 to match.
+		retiredWG := false
 		for i := 0; i < len(live); {
 			wg := live[i]
 			atBar, done := 0, 0
@@ -354,6 +420,7 @@ func (g *GPU) RunCtx(ctx context.Context, spec LaunchSpec) (*stats.Run, error) {
 				for _, th := range wg.members {
 					if th.State == eu.ThreadBarrier {
 						th.State = eu.ThreadReady
+						g.EUs[th.ID/g.Cfg.EU.ThreadsPerEU].MarkDirty()
 					}
 				}
 			}
@@ -365,6 +432,7 @@ func (g *GPU) RunCtx(ctx context.Context, spec LaunchSpec) (*stats.Run, error) {
 					probe.WorkgroupRetired(wg.id, cycle)
 				}
 				g.putWorkgroup(wg)
+				retiredWG = true
 				continue
 			}
 			i++
@@ -384,11 +452,81 @@ func (g *GPU) RunCtx(ctx context.Context, spec LaunchSpec) (*stats.Run, error) {
 			}
 		}
 
-		cycle++
-		if cycle > g.Cfg.MaxCycles {
+		// Advance the clock. Fast path first: if any source already wakes
+		// at cycle+1 the clock cannot jump, so arming the calendar would
+		// be pure overhead — on compute-bound runs nearly every cycle has
+		// an imminent wakeup, and this check keeps the event core's cost
+		// there within noise of the tick core. Only when every wakeup lies
+		// strictly beyond cycle+1 is the calendar armed to pick the jump
+		// target.
+		next := cycle + 1
+		if g.Cfg.Engine == EngineEvent {
+			imminent := retiredWG && nextWG < numWGs
+			// best tracks the earliest wakeup seen so far while arming;
+			// candidates that cannot improve it are not inserted (they can
+			// never become the jump target — the calendar is re-armed from
+			// scratch at the next landing anyway).
+			best := eu.NoWakeup
+			if !imminent {
+				g.cal.reset()
+				for i, e := range g.EUs {
+					if at := e.NextWakeup(cycle); at < best {
+						// A stale (≤ cycle) wakeup is a conservative
+						// early landing: treat it as imminent.
+						if at <= cycle+1 {
+							imminent = true
+							break
+						}
+						best = at
+						g.cal.push(wakeup{cycle: at, source: srcEU, seq: int32(i)})
+					}
+				}
+			}
+			if !imminent {
+				// memory.NoEvent and eu.NoWakeup are the same sentinel, so a
+			// no-event answer can never pass the improvement test.
+			if at := g.Mem.NextEvent(cycle); at < best {
+					if at <= cycle+1 {
+						imminent = true
+					} else {
+						best = at
+						g.cal.push(wakeup{cycle: at, source: srcMemory})
+					}
+				}
+			}
+			if !imminent {
+				if w, ok := g.cal.min(); ok {
+					next = w.cycle
+				} else {
+					// Empty calendar with the termination check failed: no
+					// event can ever fire, which is the state the tick core
+					// spins on until its budget runs out. Take the same exit
+					// immediately.
+					next = g.Cfg.MaxCycles + 1
+				}
+			}
+		}
+		// The budget check precedes the bulk window accounting: an
+		// over-budget run returns no statistics, and the tick core errors
+		// in exactly the same cases (termination happens only at
+		// state-changing cycles, which both cores visit).
+		if next > g.Cfg.MaxCycles {
 			return nil, fmt.Errorf("gpu: kernel %s exceeded %d cycles", spec.Kernel.Name, g.Cfg.MaxCycles)
 		}
-		if cycle&ctxCheckMask == 0 && done != nil {
+		if next > cycle+1 {
+			// Hoisted guard: the IssueInterval is uniform across EUs, so if
+			// no arbitration cycle falls in the skipped gap (the common
+			// jump-by-2 from an even cycle under IssueInterval 2), there are
+			// no windows to account on any EU.
+			if ((cycle+arbI)/arbI)*arbI < next {
+				for _, e := range g.EUs {
+					e.SkipWindows(cycle, next)
+				}
+			}
+		}
+		cycle = next
+		if done != nil && cycle >= nextCtxCheck {
+			nextCtxCheck = cycle + ctxCheckInterval
 			select {
 			case <-done:
 				return nil, ctx.Err()

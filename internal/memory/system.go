@@ -144,20 +144,37 @@ type System struct {
 	// SEND path does not allocate.
 	free []*reqGroup
 
+	// lastTick is the internal data-cluster clock: the last cycle Tick has
+	// fully processed. It lets Tick(now) catch up over a jumped span cycle
+	// by cycle — admissions still happen at their exact internal cycles,
+	// so an event-driven caller that skips idle cycles observes the same
+	// queue drain as one that ticks every cycle. -1 means no cycle has
+	// been processed yet (see ResetClock).
+	lastTick int64
+
 	Stats Stats
 }
 
 // NewSystem builds the memory system for the given configuration.
 func NewSystem(cfg Config) *System {
 	s := &System{
-		Cfg: cfg,
-		Mem: NewFlat(1 << 20),
-		L3:  NewCache("L3", cfg.L3Bytes, cfg.L3Ways, cfg.L3Banks, cfg.L3Latency),
-		LLC: NewCache("LLC", cfg.LLCBytes, cfg.LLCWays, cfg.LLCBanks, cfg.LLCLatency),
+		Cfg:      cfg,
+		Mem:      NewFlat(1 << 20),
+		L3:       NewCache("L3", cfg.L3Bytes, cfg.L3Ways, cfg.L3Banks, cfg.L3Latency),
+		LLC:      NewCache("LLC", cfg.LLCBytes, cfg.LLCWays, cfg.LLCBanks, cfg.LLCLatency),
+		lastTick: -1,
 	}
 	s.L3.SetPerfect(cfg.PerfectL3)
 	return s
 }
+
+// ResetClock rewinds the internal tick clock for a launch whose cycle
+// counter restarts at zero. The GPU calls it at the start of every timed
+// run; without it Tick(0) of a second launch would be treated as an
+// already-processed cycle and the data cluster would never admit the new
+// launch's requests. Cache and DRAM bandwidth state deliberately persist
+// across launches.
+func (s *System) ResetClock() { s.lastTick = -1 }
 
 // RequestLines enqueues a SEND's coalesced line requests into the data
 // cluster. done.LinesReady is invoked (during a later Tick) with the cycle
@@ -191,10 +208,41 @@ func (s *System) QueueLen() int { return len(s.queue) - s.qHead }
 // InFlight reports whether any request is queued or pending completion.
 func (s *System) InFlight() bool { return s.QueueLen() > 0 || len(s.pending) > 0 }
 
-// Tick advances the data cluster by one cycle: it admits up to
-// DCLinesPerCycle line requests into the cache hierarchy and fires any
-// completions due at or before now.
+// Tick advances the data cluster to cycle now, catching up over any
+// cycles skipped since the previous Tick. Each elapsed cycle admits up
+// to DCLinesPerCycle line requests into the cache hierarchy at that
+// cycle's exact timestamp — so bank serialization and DRAM bandwidth
+// behave identically whether the caller ticks every cycle or jumps —
+// and completions due at or before now are fired. Calling Tick twice
+// with the same cycle is a no-op the second time.
 func (s *System) Tick(now int64) {
+	if now <= s.lastTick {
+		return
+	}
+	from := s.lastTick + 1
+	s.lastTick = now
+	// Per-cycle admission only matters while the queue is non-empty; an
+	// event-driven caller guarantees (via NextEvent) that jumps never
+	// span cycles where admissions would occur, so this loop runs at most
+	// once per admitted line plus once for the landing cycle.
+	for c := from; c <= now && s.qHead < len(s.queue); c++ {
+		s.admit(c)
+	}
+	for len(s.pending) > 0 && s.pending[0].at <= now {
+		c := s.pending.pop()
+		if c.group.remaining == 0 {
+			if c.group.done != nil {
+				c.group.done.LinesReady(c.at)
+			}
+			c.group.done = nil
+			s.free = append(s.free, c.group)
+		}
+	}
+}
+
+// admit moves up to DCLinesPerCycle line requests from the admission
+// queue into the cache hierarchy at cycle c.
+func (s *System) admit(c int64) {
 	bw := s.Cfg.DCLinesPerCycle
 	if bw < 1 {
 		bw = 1
@@ -207,7 +255,7 @@ func (s *System) Tick(now int64) {
 			s.queue = s.queue[:0]
 			s.qHead = 0
 		}
-		ready := s.lookup(r.line, now)
+		ready := s.lookup(r.line, c)
 		if ready > r.group.latest {
 			r.group.latest = ready
 		}
@@ -216,16 +264,40 @@ func (s *System) Tick(now int64) {
 			s.pending.push(completion{at: r.group.latest, group: r.group})
 		}
 	}
-	for len(s.pending) > 0 && s.pending[0].at <= now {
-		c := s.pending.pop()
-		if c.group.remaining == 0 {
-			if c.group.done != nil {
-				c.group.done.LinesReady(c.at)
-			}
-			c.group.done = nil
-			s.free = append(s.free, c.group)
+}
+
+// NoEvent is returned by NextEvent when the memory system has nothing
+// scheduled.
+const NoEvent = int64(^uint64(0) >> 1)
+
+// NextEvent returns a lower bound on the next cycle at which the memory
+// system could fire a completion, given that Tick(now) has already run.
+// It is conservative (never later than the true next completion): an
+// event-driven caller may safely jump the clock to the returned cycle.
+//
+// With a non-empty admission queue the earliest possible completion is
+// the next admission's L3 hit: a line admitted at cycle c has
+// ready >= c + L3Latency (Cache.Access never returns earlier than
+// start + latency), so now+1+L3Latency bounds it. A pending completion
+// fires at its scheduled cycle, clamped to now+1 because a zero-line
+// request enqueued during the current cycle's EU ticks (after Tick(now)
+// already ran) fires on the next Tick, exactly as in the per-cycle
+// engine.
+func (s *System) NextEvent(now int64) int64 {
+	next := NoEvent
+	if s.qHead < len(s.queue) {
+		next = now + 1 + int64(s.Cfg.L3Latency)
+	}
+	if len(s.pending) > 0 {
+		at := s.pending[0].at
+		if at <= now {
+			at = now + 1
+		}
+		if at < next {
+			next = at
 		}
 	}
+	return next
 }
 
 // lookup walks the hierarchy for one line and returns its data-ready cycle.

@@ -1,0 +1,120 @@
+package oracle
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"intrawarp/internal/compaction"
+	"intrawarp/internal/gpu"
+	"intrawarp/internal/kgen"
+	"intrawarp/internal/stats"
+	"intrawarp/internal/workloads"
+)
+
+// These tests are the event-core acceptance gate (DESIGN.md §13): the
+// event-driven timed core must produce statistics byte-identical to the
+// tick-every-cycle core — not "close", identical under json.Marshal —
+// on every workload in the suite and on a generated-kernel corpus
+// window. CI's bench-smoke job runs them by name as the tick-vs-event
+// differential.
+
+// timedStats executes one timed run of spec on the given core and
+// returns its marshaled statistics.
+func timedStats(t *testing.T, spec *workloads.Spec, p compaction.Policy, eng gpu.Engine, size int) []byte {
+	t.Helper()
+	cfg := gpu.DefaultConfig().WithPolicy(p)
+	cfg.Engine = eng
+	run, err := workloads.ExecuteCtx(context.Background(), gpu.New(cfg), spec,
+		workloads.ExecOptions{Size: size, Timed: true})
+	if err != nil {
+		t.Fatalf("%s/%s/%s: %v", spec.Name, p, eng, err)
+	}
+	b, err := json.Marshal(run)
+	if err != nil {
+		t.Fatalf("%s/%s/%s: marshal: %v", spec.Name, p, eng, err)
+	}
+	return b
+}
+
+// assertParity diffs the two cores on one (spec, policy, size) cell.
+func assertParity(t *testing.T, spec *workloads.Spec, p compaction.Policy, size int) {
+	t.Helper()
+	tick := timedStats(t, spec, p, gpu.EngineTick, size)
+	event := timedStats(t, spec, p, gpu.EngineEvent, size)
+	if string(tick) != string(event) {
+		var tr, er stats.Run
+		json.Unmarshal(tick, &tr)
+		json.Unmarshal(event, &er)
+		t.Errorf("%s/%s: tick and event cores diverge\n tick:  cycles=%d busy=%d windows=%v\n event: cycles=%d busy=%d windows=%v\n tick json:  %s\n event json: %s",
+			spec.Name, p, tr.TotalCycles, tr.EUBusy, tr.Windows,
+			er.TotalCycles, er.EUBusy, er.Windows, tick, event)
+	}
+}
+
+// TestTickEventParitySuite diffs the cores across the whole registered
+// workload suite under every compaction policy at quick sizes.
+func TestTickEventParitySuite(t *testing.T) {
+	specs := workloads.All()
+	if len(specs) == 0 {
+		t.Fatal("no registered workloads")
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			size := workloads.QuickSize(spec)
+			for _, p := range enginePolicies {
+				assertParity(t, spec, p, size)
+			}
+		})
+	}
+}
+
+// TestTickEventParityCorpus diffs the cores over a 200-kernel window of
+// the generated corpus, split evenly across the generator profiles —
+// structured control flow, barriers, SLM traffic, and gather/scatter
+// patterns the hand-written suite does not reach.
+func TestTickEventParityCorpus(t *testing.T) {
+	const total = 200
+	if testing.Short() {
+		t.Skip("200 corpus kernels × 2 cores")
+	}
+	per := total / len(kgen.Profiles)
+	for _, prof := range kgen.Profiles {
+		prof := prof
+		t.Run(prof, func(t *testing.T) {
+			t.Parallel()
+			specs, err := kgen.CorpusSpecs(prof, corpusTestSeed, 0, per)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, spec := range specs {
+				// One policy per kernel, round-robin, so the window
+				// exercises all four policies without quadrupling cost.
+				assertParity(t, spec, enginePolicies[i%NumPolicies], 0)
+			}
+		})
+	}
+}
+
+// TestTickEventOracleDiff runs the full five-stage differential
+// pipeline — including per-record CheckTrace invariants and the timed
+// stage under all four policies — on the tick core explicitly. The
+// default-engine pipeline (make verify) covers the event core; together
+// they prove both cores agree with the independent oracle, not merely
+// with each other.
+func TestTickEventOracleDiff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed runs under four policies")
+	}
+	sum, err := Diff(context.Background(), Options{
+		Specs: specsFor(t, "bfs"), Quick: true, Timed: true, Engine: gpu.EngineTick,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TimedRuns != NumPolicies {
+		t.Fatalf("covered %d timed runs, want %d", sum.TimedRuns, NumPolicies)
+	}
+}

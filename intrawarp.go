@@ -70,6 +70,8 @@ type (
 	GPU = gpu.GPU
 	// LaunchSpec is one kernel launch (1-D NDRange).
 	LaunchSpec = gpu.LaunchSpec
+	// Engine selects the timed-run core (event-driven or per-cycle tick).
+	Engine = gpu.Engine
 	// Kernel is a compiled kernel.
 	Kernel = isa.Kernel
 	// Program is a kernel's instruction sequence.
@@ -99,6 +101,18 @@ const (
 	BCC       = compaction.BCC
 	SCC       = compaction.SCC
 )
+
+// Timed-run cores (see DESIGN.md §13). EngineEvent — the default — jumps
+// the clock straight to the next scheduled wakeup; EngineTick steps every
+// cycle. Both produce bit-identical statistics.
+const (
+	EngineEvent = gpu.EngineEvent
+	EngineTick  = gpu.EngineTick
+)
+
+// ParseEngine parses an engine name ("event", "tick"; empty selects the
+// default event core).
+func ParseEngine(s string) (Engine, error) { return gpu.ParseEngine(s) }
 
 // SIMD widths.
 const (

@@ -150,6 +150,17 @@ func WithPerfectL3() ConfigOption {
 	})
 }
 
+// WithEngine selects the timed-run core: EngineEvent (the default)
+// jumps the clock to the next scheduled wakeup, EngineTick steps every
+// cycle. The cores produce bit-identical statistics; tick remains as a
+// differential-testing escape hatch.
+func WithEngine(e Engine) ConfigOption {
+	return configOptionFunc(func(c *gpu.Config) error {
+		c.Engine = e
+		return nil
+	})
+}
+
 // WithMaxCycles sets the timed simulator's hang guard; 0 keeps the
 // default budget. Negative budgets are rejected.
 func WithMaxCycles(n int64) ConfigOption {
