@@ -34,7 +34,7 @@ check: build vet test race
 # verify runs the differential verification harness (DESIGN.md §10):
 # every workload at quick sizes, each captured instruction checked
 # against the independent oracle, and the serial, parallel, trace-replay
-# and timed engines (all four policies) cross-checked bit for bit.
+# and timed engines (all seven policies) cross-checked bit for bit.
 verify:
 	$(GO) run ./cmd/simd-verify -quick -timed
 
@@ -49,7 +49,7 @@ fuzz-smoke:
 # corpus runs the seeded kernel corpus through the full differential
 # pipeline: every generated kernel checked against its straight-line
 # evaluator on the serial engine, then cross-checked on the parallel,
-# trace-replay, and timed engines under all four compaction policies
+# trace-replay, and timed engines under all seven compaction policies
 # (docs/corpus.md). The pinned seed makes the run — including the
 # printed digest over every encoded program and its expected outputs —
 # byte-for-byte reproducible; CI pins a smaller count. On divergence
@@ -64,7 +64,7 @@ corpus:
 		-profile $(CORPUS_PROFILE) -verify -emit-worst $(CORPUS_REPRO)
 
 # timeline-smoke captures a Perfetto timeline from a divergent workload
-# across all four policies, validates it with timelint (required keys,
+# across all seven policies, validates it with timelint (required keys,
 # monotonic per-track timestamps, paired async spans), and re-proves the
 # zero-alloc contract with the probes compiled in but disabled. CI
 # uploads the timeline as an artifact.

@@ -12,7 +12,7 @@
 // Sweeps (one functional execution per workload×width×size group; every
 // policy cell is a bit-parallel trace replay of that group's masks):
 //
-//	simd-bench -sweep bsearch,urng                      4-policy sweep
+//	simd-bench -sweep bsearch,urng                      full-policy sweep
 //	simd-bench -sweep bsearch -policies scc,bcc \
 //	           -widths 8,16 -sizes 1000,4000            explicit axes
 //	simd-bench -sweep bsearch -verify                   oracle-check traces
@@ -62,7 +62,7 @@ func run() int {
 		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
 		timeline   = flag.String("timeline", "", "write a Chrome-trace timeline of the simulated machines to this file")
 		sweep      = flag.String("sweep", "", "comma-separated workloads to sweep trace-once across the policy grid")
-		policies   = flag.String("policies", "", "sweep policy axis, comma-separated (default: all four)")
+		policies   = flag.String("policies", "", "sweep policy axis, comma-separated (default: all seven)")
 		widths     = flag.String("widths", "", "sweep SIMD-width axis in lanes, comma-separated (0 = native)")
 		sizes      = flag.String("sizes", "", "sweep problem-size axis, comma-separated (0 = workload default)")
 		verify     = flag.Bool("verify", false, "oracle-check every captured sweep trace record by record")

@@ -7,7 +7,7 @@
 // with its evaluator-derived expected outputs. With -verify every
 // kernel additionally runs through the full differential pipeline —
 // serial vs. evaluator, per-record oracle invariants, offline replay,
-// parallel engine, and the timed engine under all four compaction
+// parallel engine, and the timed engine under all seven compaction
 // policies — aborting at the first divergence with a minimized,
 // paste-ready repro (optionally written to -emit-worst for CI
 // artifacts).

@@ -28,13 +28,13 @@ func main() {
 	var (
 		list       = flag.Bool("list", false, "list available workloads and exit")
 		name       = flag.String("workload", "", "workload to run (see -list)")
-		policyStr  = flag.String("policy", "ivb", "compaction policy: baseline, ivb, bcc, scc")
+		policyStr  = flag.String("policy", "ivb", "divergence policy: baseline, ivb, bcc, scc, meld, resize, its")
 		n          = flag.Int("n", 0, "problem size (0 = workload default)")
 		dc         = flag.Int("dc", 1, "data-cluster bandwidth in lines/cycle (paper DC1=1, DC2=2)")
 		perfectL3  = flag.Bool("perfect-l3", false, "model a perfect (always-hit) L3")
 		functional = flag.Bool("functional", false, "functional-only run (no timing)")
 		workers    = flag.Int("workers", 0, "functional-engine worker pool size (0 = GOMAXPROCS)")
-		compare    = flag.Bool("compare", false, "run all four policies and compare timing")
+		compare    = flag.Bool("compare", false, "run all seven policies and compare timing")
 		jsonOut    = flag.Bool("json", false, "emit the run report as JSON")
 		timeline   = flag.String("timeline", "", "write a Chrome-trace/Perfetto timeline to this file")
 		engineStr  = flag.String("engine", "event", "timed core: event (skip-to-next-wakeup) or tick (per-cycle)")
@@ -120,7 +120,7 @@ func main() {
 	if *compare {
 		fmt.Printf("%-10s %-14s %-14s %-10s\n", "policy", "total cycles", "EU busy", "vs ivb")
 		var ref int64
-		for _, pname := range []string{"baseline", "ivb", "bcc", "scc"} {
+		for _, pname := range []string{"baseline", "ivb", "bcc", "scc", "meld", "resize", "its"} {
 			p, _ := intrawarp.ParsePolicy(pname)
 			run, err := intrawarp.RunWorkloadCtx(ctx, mkGPU(p), spec,
 				intrawarp.WithSize(*n), intrawarp.WithTimed())

@@ -1,7 +1,7 @@
 // Command simd-verify runs the differential verification harness: every
 // selected workload is executed under the serial functional engine with
 // trace capture, each captured instruction is checked against the
-// independent oracle (cycle models of all four policies, SCC schedule
+// independent oracle (cycle models of all seven policies, SCC schedule
 // invariants, fetch accounting), and the run is then replayed through
 // the offline analyzer, the parallel engine, and — with -timed — the
 // cycle-level engine under every policy, all of which must agree

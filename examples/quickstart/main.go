@@ -1,5 +1,5 @@
 // Quickstart: build a small divergent kernel with the public API, run it
-// under all four compaction policies, and show how cycle compression
+// under all seven divergence policies, and show how cycle compression
 // changes execution time without changing results.
 package main
 
@@ -36,6 +36,7 @@ func main() {
 	var ref []float32
 	for _, policy := range []intrawarp.Policy{
 		intrawarp.Baseline, intrawarp.IvyBridge, intrawarp.BCC, intrawarp.SCC,
+		intrawarp.Melding, intrawarp.Resize, intrawarp.ITS,
 	} {
 		g, err := intrawarp.NewGPU(intrawarp.WithPolicy(policy))
 		if err != nil {

@@ -19,9 +19,16 @@ import (
 //     the same transformations — permuting inside a quad cannot empty it,
 //     reordering quads cannot change how many are empty.
 //   - Baseline charges ceil(width/group) regardless of the mask.
+//   - Melding charges fullQuads + ceil(partialQuads/2): permuting inside
+//     a quad cannot change whether it is empty, partial, or full, and
+//     reordering quads cannot change the tallies.
+//   - ITS charges the baseline's count regardless of the mask.
 //
 // The Ivy Bridge rule is deliberately absent: it reads lane *positions*
-// (which half is dead), so quad reordering legitimately changes it.
+// (which half is dead), so quad reordering legitimately changes it. So
+// is Resize, for the same reason at sub-warp granularity — reordering
+// quads can move lanes across sub-warp boundaries — but it keeps the
+// intra-quad half of the invariance (checkResizeIntraQuad).
 
 // transformMask rebuilds a mask by placing source quad order[dq] at
 // destination quad dq, with lanes inside every quad rerouted through
@@ -66,7 +73,7 @@ func permutations(n int) [][]int {
 // length of the transformed mask match the original's.
 func checkInvariant(t *testing.T, m, tm mask.Mask, width, group int) {
 	t.Helper()
-	for _, p := range []Policy{Baseline, BCC, SCC} {
+	for _, p := range []Policy{Baseline, BCC, SCC, Melding, ITS} {
 		if a, b := p.Cycles(m, width, group), p.Cycles(tm, width, group); a != b {
 			t.Fatalf("%s cycles not invariant: mask %#x -> %#x (width=%d group=%d): %d -> %d",
 				p, uint32(m), uint32(tm), width, group, a, b)
@@ -127,6 +134,49 @@ func TestMetamorphicRandomSIMD16SIMD32(t *testing.T) {
 			}
 		}
 		checkInvariant(t, m, tm, width, group)
+	}
+}
+
+// checkResizeIntraQuad asserts Resize's half of the invariance: the
+// transformed mask permutes lanes within quads only (identity quad
+// order), which cannot move a lane across a sub-warp boundary.
+func checkResizeIntraQuad(t *testing.T, m, tm mask.Mask, width, group int) {
+	t.Helper()
+	if a, b := Resize.Cycles(m, width, group), Resize.Cycles(tm, width, group); a != b {
+		t.Fatalf("resize cycles not intra-quad invariant: mask %#x -> %#x (width=%d group=%d): %d -> %d",
+			uint32(m), uint32(tm), width, group, a, b)
+	}
+}
+
+// TestMetamorphicResizeIntraQuad permutes lanes within quads (never
+// across) over exhaustive SIMD8 and random SIMD16/SIMD32 masks: Resize
+// only reads per-sub-warp liveness, so any quad-local shuffle — which
+// stays inside its sub-warp — leaves the cost unchanged.
+func TestMetamorphicResizeIntraQuad(t *testing.T) {
+	perms := permutations(4)
+	identity := []int{0, 1}
+	for raw := 0; raw <= 0xFF; raw++ {
+		m := mask.Mask(uint32(raw))
+		for _, perm := range perms {
+			checkResizeIntraQuad(t, m, transformMask(m, 8, 4, perm, identity), 8, 4)
+		}
+	}
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 20000; i++ {
+		width := []int{16, 32}[i%2]
+		group := []int{2, 4}[i/2%2]
+		m := mask.Mask(r.Uint32()).Trunc(width)
+		quads := width / group
+		var tm mask.Mask
+		for q := 0; q < quads; q++ {
+			perm := r.Perm(group)
+			for j := 0; j < group; j++ {
+				if m.Lane(q*group + perm[j]) {
+					tm = tm.SetLane(q*group + j)
+				}
+			}
+		}
+		checkResizeIntraQuad(t, m, tm, width, group)
 	}
 }
 

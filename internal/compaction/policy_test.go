@@ -11,7 +11,8 @@ func TestPolicyString(t *testing.T) {
 	for _, c := range []struct {
 		p    Policy
 		want string
-	}{{Baseline, "baseline"}, {IvyBridge, "ivb"}, {BCC, "bcc"}, {SCC, "scc"}} {
+	}{{Baseline, "baseline"}, {IvyBridge, "ivb"}, {BCC, "bcc"}, {SCC, "scc"},
+		{Melding, "meld"}, {Resize, "resize"}, {ITS, "its"}} {
 		if c.p.String() != c.want {
 			t.Errorf("%d.String() = %q, want %q", c.p, c.p.String(), c.want)
 		}
@@ -19,13 +20,21 @@ func TestPolicyString(t *testing.T) {
 }
 
 func TestParsePolicy(t *testing.T) {
-	for _, s := range []string{"baseline", "ivb", "bcc", "scc"} {
+	for _, s := range []string{"baseline", "ivb", "bcc", "scc", "meld", "resize", "its"} {
 		p, err := ParsePolicy(s)
 		if err != nil {
 			t.Errorf("ParsePolicy(%q): %v", s, err)
 		}
 		if p.String() != s {
 			t.Errorf("ParsePolicy(%q) = %s", s, p)
+		}
+	}
+	// Aliases from the literature resolve to the same policies.
+	for alias, want := range map[string]Policy{
+		"melding": Melding, "darm": Melding, "dwr": Resize, "volta": ITS,
+	} {
+		if p, err := ParsePolicy(alias); err != nil || p != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", alias, p, err, want)
 		}
 	}
 	if _, err := ParsePolicy("nope"); err == nil {
@@ -163,9 +172,13 @@ func TestPolicyOrderingProperty(t *testing.T) {
 		m := mask.Mask(raw).Trunc(w)
 		scc := SCC.Cycles(m, w, g)
 		bcc := BCC.Cycles(m, w, g)
+		rsz := Resize.Cycles(m, w, g)
 		ivb := IvyBridge.Cycles(m, w, g)
 		base := Baseline.Cycles(m, w, g)
-		return scc <= bcc && bcc <= ivb && ivb <= base && scc >= 1
+		meld := Melding.Cycles(m, w, g)
+		its := ITS.Cycles(m, w, g)
+		return scc <= bcc && bcc <= rsz && rsz <= ivb && ivb <= base && scc >= 1 &&
+			meld <= bcc && 2*meld >= scc && meld >= 1 && its == base
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
 		t.Error(err)
@@ -196,8 +209,12 @@ func TestExactCyclesExhaustiveSIMD16(t *testing.T) {
 }
 
 func TestCostAll(t *testing.T) {
+	// All four quads of 0xAAAA are partially enabled: baseline/ivb charge
+	// all 4; bcc skips nothing (no dead quad); scc packs 8 lanes into 2
+	// cycles; meld pairs the 4 partial quads into 2 shared slots; resize
+	// issues both sub-warps (2 quads each); its matches baseline.
 	got := CostAll(0xAAAA, 16, 4)
-	want := [NumPolicies]int{4, 4, 4, 2}
+	want := [NumPolicies]int{4, 4, 4, 2, 2, 4, 4}
 	if got != want {
 		t.Errorf("CostAll(0xAAAA) = %v, want %v", got, want)
 	}

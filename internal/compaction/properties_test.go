@@ -1,0 +1,169 @@
+package compaction
+
+import (
+	"math/rand"
+	"testing"
+
+	"intrawarp/internal/mask"
+)
+
+// Policy-interface invariants, table-driven over the policy registry:
+// every entry of Policies must declare its property row here, so adding
+// a policy without extending the table fails the suite instead of
+// silently shipping unvetted cost behavior.
+//
+// Universal invariants (every policy, no flags):
+//   - at least one issue slot, even on an all-zero mask;
+//   - never more than the baseline's ceil(width/group);
+//   - full-mask cost equals the baseline cost (no scheme can compress a
+//     coherent instruction);
+//   - monotone in the mask: enabling one more lane never reduces cost.
+//
+// Flagged invariants (position-dependent policies opt out with reasons):
+//   - intraQuadInvariant: lane permutations inside quads leave the cost
+//     unchanged (quads never straddle the structures any policy reads —
+//     halves, sub-warps — at the hardware group sizes);
+//   - quadReorderInvariant: reordering whole quads leaves the cost
+//     unchanged (false for IvyBridge, which reads which half is dead,
+//     and Resize, which reads which sub-warp is dead).
+var policyProperties = map[Policy]struct {
+	intraQuadInvariant   bool
+	quadReorderInvariant bool
+}{
+	Baseline:  {intraQuadInvariant: true, quadReorderInvariant: true},
+	IvyBridge: {intraQuadInvariant: true, quadReorderInvariant: false},
+	BCC:       {intraQuadInvariant: true, quadReorderInvariant: true},
+	SCC:       {intraQuadInvariant: true, quadReorderInvariant: true},
+	Melding:   {intraQuadInvariant: true, quadReorderInvariant: true},
+	Resize:    {intraQuadInvariant: true, quadReorderInvariant: false},
+	ITS:       {intraQuadInvariant: true, quadReorderInvariant: true},
+}
+
+// TestPolicyRegistryHasPropertyRows is the completeness gate: every
+// registered policy must declare its property row.
+func TestPolicyRegistryHasPropertyRows(t *testing.T) {
+	for _, p := range Policies {
+		if _, ok := policyProperties[p]; !ok {
+			t.Errorf("policy %s has no row in policyProperties — declare its invariants", p)
+		}
+	}
+	if len(policyProperties) != NumPolicies {
+		t.Errorf("policyProperties has %d rows for %d policies", len(policyProperties), NumPolicies)
+	}
+}
+
+// propertyShapes are the (width, group) signatures the property suite
+// sweeps: the hardware group sizes across every supported SIMD width,
+// including ragged quads (width not a multiple of group).
+var propertyShapes = []struct{ width, group int }{
+	{4, 4}, {8, 4}, {16, 4}, {32, 4},
+	{8, 2}, {16, 2}, {32, 2},
+	{8, 8}, {16, 8}, {32, 8},
+	{4, 8}, {16, 1},
+}
+
+// TestPolicyUniversalInvariants checks the unflagged invariants for
+// every policy over random masks at every shape.
+func TestPolicyUniversalInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, s := range propertyShapes {
+		base := Baseline.Cycles(mask.Full(s.width), s.width, s.group)
+		for _, p := range Policies {
+			// Empty mask: exactly the one mandatory issue slot's floor.
+			if got := p.Cycles(0, s.width, s.group); got < 1 {
+				t.Errorf("%s(empty, w=%d g=%d) = %d, want >= 1", p, s.width, s.group, got)
+			}
+			// Full mask: the baseline cost, bit for bit.
+			if got := p.Cycles(mask.Full(s.width), s.width, s.group); got != base {
+				t.Errorf("%s(full, w=%d g=%d) = %d, want baseline %d", p, s.width, s.group, got, base)
+			}
+		}
+		for i := 0; i < 4000; i++ {
+			m := mask.Mask(r.Uint32()).Trunc(s.width)
+			if i%3 == 0 {
+				m &= mask.Mask(r.Uint32()) // bias sparse
+			}
+			for _, p := range Policies {
+				c := p.Cycles(m, s.width, s.group)
+				if c < 1 || c > base {
+					t.Fatalf("%s(%#x, w=%d g=%d) = %d outside [1, %d]", p, uint32(m), s.width, s.group, c, base)
+				}
+				// Monotonicity: enabling one more lane never cuts cost.
+				off := disabledLane(r, m, s.width)
+				if off >= 0 {
+					if c2 := p.Cycles(m.SetLane(off), s.width, s.group); c2 < c {
+						t.Fatalf("%s not monotone: enabling lane %d of %#x (w=%d g=%d) drops cost %d -> %d",
+							p, off, uint32(m), s.width, s.group, c, c2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// disabledLane picks a random disabled lane of a width-lane mask, or -1
+// when the mask is full.
+func disabledLane(r *rand.Rand, m mask.Mask, width int) int {
+	if m == mask.Full(width) {
+		return -1
+	}
+	for {
+		if i := r.Intn(width); !m.Lane(i) {
+			return i
+		}
+	}
+}
+
+// TestPolicyFlaggedInvariance applies the declared mask relabelings to
+// every policy whose row claims them: intra-quad lane permutations, and
+// whole-quad reorderings composed with them.
+func TestPolicyFlaggedInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for _, s := range propertyShapes {
+		if s.width%s.group != 0 {
+			continue // relabelings of ragged quads are not total bijections
+		}
+		quads := s.width / s.group
+		for i := 0; i < 2000; i++ {
+			m := mask.Mask(r.Uint32()).Trunc(s.width)
+
+			// Intra-quad: independent lane permutation inside every quad.
+			var intra mask.Mask
+			for q := 0; q < quads; q++ {
+				perm := r.Perm(s.group)
+				for j := 0; j < s.group; j++ {
+					if m.Lane(q*s.group + perm[j]) {
+						intra = intra.SetLane(q*s.group + j)
+					}
+				}
+			}
+			// Quad reorder on top of the intra-quad shuffle.
+			order := r.Perm(quads)
+			var reordered mask.Mask
+			for dq := 0; dq < quads; dq++ {
+				for j := 0; j < s.group; j++ {
+					if intra.Lane(order[dq]*s.group + j) {
+						reordered = reordered.SetLane(dq*s.group + j)
+					}
+				}
+			}
+
+			for _, p := range Policies {
+				props := policyProperties[p]
+				c := p.Cycles(m, s.width, s.group)
+				if props.intraQuadInvariant {
+					if got := p.Cycles(intra, s.width, s.group); got != c {
+						t.Fatalf("%s not intra-quad invariant: %#x -> %#x (w=%d g=%d): %d -> %d",
+							p, uint32(m), uint32(intra), s.width, s.group, c, got)
+					}
+				}
+				if props.quadReorderInvariant {
+					if got := p.Cycles(reordered, s.width, s.group); got != c {
+						t.Fatalf("%s not quad-reorder invariant: %#x -> %#x (w=%d g=%d): %d -> %d",
+							p, uint32(m), uint32(reordered), s.width, s.group, c, got)
+					}
+				}
+			}
+		}
+	}
+}

@@ -473,6 +473,51 @@ func (e *EU) emitQuads(ti int, res ExecResult, start int64) {
 				emit(lanes)
 			}
 		}
+	case compaction.Melding:
+		// Full quads issue alone; partial quads pair up with each other,
+		// the pair sharing one issue slot with the melded branch twin.
+		var pending uint32
+		has := false
+		for q := 0; q < n; q++ {
+			lanes := res.Group
+			if rem := res.Width - q*res.Group; rem < lanes {
+				lanes = rem
+			}
+			qm := m.Quad(q, res.Group)
+			if qm == 0 {
+				continue
+			}
+			if qm == mask.Full(lanes) {
+				emit(quad(q))
+				continue
+			}
+			if has {
+				emit(pending | quad(q))
+				pending, has = 0, false
+			} else {
+				pending, has = quad(q), true
+			}
+		}
+		if has {
+			emit(pending) // odd partial quad out: a slot of its own
+		}
+	case compaction.Resize:
+		// Every quad of every issued sub-warp, dead quads included; whole
+		// dead sub-warps are never issued.
+		eff := compaction.EffectiveSubWarp(res.Group, compaction.DefaultSubWarpWidth)
+		for s := 0; s < res.Width; s += eff {
+			lanes := eff
+			if rem := res.Width - s; rem < lanes {
+				lanes = rem
+			}
+			if (m>>uint(s))&mask.Full(lanes) == 0 {
+				continue
+			}
+			q0 := s / res.Group
+			for q := q0; q < q0+mask.QuadCount(lanes, res.Group); q++ {
+				emit(quad(q))
+			}
+		}
 	case compaction.IvyBridge:
 		lo, hi := 0, n
 		if res.Width == 16 && n >= 2 {

@@ -12,7 +12,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ablation-dtype", "ablation-frontend", "ablation-issue", "ablation-swizzle", "ablation-width",
-		"energy", "fig10", "fig11", "fig12", "fig3", "fig8", "fig9", "interwarp",
+		"energy", "families", "fig10", "fig11", "fig12", "fig3", "fig8", "fig9", "interwarp",
 		"rfarea", "stalls", "table2", "table3", "table4"}
 	all := All()
 	if len(all) != len(want) {

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"context"
+
+	"intrawarp/internal/compaction"
+	"intrawarp/internal/par"
+	"intrawarp/internal/stats"
+	"intrawarp/internal/trace"
+)
+
+func init() {
+	register(&Experiment{ID: "families",
+		Title: "Divergence-handling families head-to-head: BCC/SCC vs DARM melding vs warp resizing vs Volta ITS",
+		Run:   runFamilies})
+}
+
+// FamilyRow is one divergent workload's EU-cycle reduction over the Ivy
+// Bridge baseline under each divergence-handling family, plus the family
+// that wins the row (smallest cycle total among the four active
+// optimizations — ITS ties the baseline by construction and never wins).
+type FamilyRow struct {
+	Name   string
+	Source string // "sim" or "trace"
+	BCC    float64
+	SCC    float64
+	Meld   float64
+	Resize float64
+	ITS    float64
+	Best   string
+}
+
+// familyContenders are the policies eligible to win a head-to-head row.
+var familyContenders = []compaction.Policy{
+	compaction.BCC, compaction.SCC, compaction.Melding, compaction.Resize,
+}
+
+func familyRow(r *stats.Run, source string) FamilyRow {
+	row := FamilyRow{Name: r.Name, Source: source,
+		BCC:    r.EUCycleReduction(compaction.BCC),
+		SCC:    r.EUCycleReduction(compaction.SCC),
+		Meld:   r.EUCycleReduction(compaction.Melding),
+		Resize: r.EUCycleReduction(compaction.Resize),
+		ITS:    r.EUCycleReduction(compaction.ITS),
+	}
+	best := familyContenders[0]
+	for _, p := range familyContenders[1:] {
+		if r.PolicyCycles[p] < r.PolicyCycles[best] {
+			best = p
+		}
+	}
+	row.Best = best.String()
+	return row
+}
+
+// Families computes the head-to-head comparison (the first five-family
+// one on this simulator): every divergent workload, execution-driven and
+// trace-based, costed under all seven policies from one mask trace.
+func Families(ctx context.Context, quick bool, workers int) ([]FamilyRow, error) {
+	sim, traces, err := workloadRuns(ctx, quick, workers)
+	if err != nil {
+		return nil, err
+	}
+	var rows []FamilyRow
+	for _, r := range sim {
+		if r.Divergent() {
+			rows = append(rows, familyRow(r, "sim"))
+		}
+	}
+	for _, r := range traces {
+		if r.Divergent() {
+			rows = append(rows, familyRow(r, "trace"))
+		}
+	}
+	return rows, nil
+}
+
+// SubWarpRow is one trace stream's Resize cycle reduction (vs the
+// baseline) across sub-warp widths — the warp-size sensitivity the
+// resizing papers sweep.
+type SubWarpRow struct {
+	Name      string
+	Reduction []float64 // aligned with SubWarpWidths
+}
+
+// SubWarpWidths are the sub-warp widths the sensitivity table sweeps.
+// Width 4 is one quad (Resize degenerates to BCC at 32-bit group size),
+// 32 spans the whole warp (Resize degenerates to the baseline for every
+// kernel of width ≤ 32).
+var SubWarpWidths = []int{4, 8, 16, 32}
+
+// SubWarpSweep costs every synthetic trace stream under Resize at each
+// sub-warp width, reporting the cycle reduction against the baseline.
+func SubWarpSweep(quick bool, workers int) []SubWarpRow {
+	progs := trace.SynthAll()
+	rows := make([]SubWarpRow, len(progs))
+	par.For(workers, len(progs), func(i int) {
+		pp := *progs[i]
+		if quick {
+			pp.Instr /= 10
+		}
+		recs := pp.Generate()
+		var base int64
+		totals := make([]int64, len(SubWarpWidths))
+		for _, rec := range recs {
+			width, group := int(rec.Width), int(rec.Group)
+			if group == 0 {
+				group = 4
+			}
+			base += int64(compaction.Baseline.Cycles(rec.Mask, width, group))
+			for j, sub := range SubWarpWidths {
+				totals[j] += int64(compaction.ResizeCycles(rec.Mask, width, group, sub))
+			}
+		}
+		row := SubWarpRow{Name: pp.Name, Reduction: make([]float64, len(SubWarpWidths))}
+		for j, tot := range totals {
+			row.Reduction[j] = compaction.Reduction(base, tot)
+		}
+		rows[i] = row
+	})
+	return rows
+}
+
+func runFamilies(ctx *Context) error {
+	rows, err := Families(ctx.context(), ctx.Quick, ctx.Workers)
+	if err != nil {
+		return err
+	}
+	t := newTable("workload", "src", "bcc", "scc", "meld", "resize", "its", "best")
+	sums := make(map[string]float64)
+	for _, r := range rows {
+		t.add(r.Name, r.Source, r.BCC, r.SCC, r.Meld, r.Resize, r.ITS, r.Best)
+		sums["bcc"] += r.BCC
+		sums["scc"] += r.SCC
+		sums["meld"] += r.Meld
+		sums["resize"] += r.Resize
+		wins := "wins/" + r.Best
+		sums[wins]++
+	}
+	t.render(ctx.Out)
+	n := float64(len(rows))
+	ctx.printf("avg reduction vs ivb: bcc=%.1f%% scc=%.1f%% meld=%.1f%% resize=%.1f%% (its=ivb-relative baseline cost by construction)\n",
+		100*sums["bcc"]/n, 100*sums["scc"]/n, 100*sums["meld"]/n, 100*sums["resize"]/n)
+	ctx.printf("row wins: scc=%d meld=%d bcc=%d resize=%d of %d divergent workloads\n",
+		int(sums["wins/scc"]), int(sums["wins/meld"]), int(sums["wins/bcc"]), int(sums["wins/resize"]), len(rows))
+
+	ctx.printf("\nresize sub-warp width sensitivity (cycle reduction vs baseline, trace streams):\n")
+	st := newTable("stream", "S=4", "S=8", "S=16", "S=32")
+	for _, r := range SubWarpSweep(ctx.Quick, ctx.Workers) {
+		st.add(r.Name, r.Reduction[0], r.Reduction[1], r.Reduction[2], r.Reduction[3])
+	}
+	st.render(ctx.Out)
+	ctx.printf("S=4 equals BCC at the hardware group size; S=32 collapses to the baseline\n")
+	return nil
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"intrawarp/internal/compaction"
+)
+
+var updateFamilies = flag.Bool("update", false, "rewrite the families golden file with the current output")
+
+// TestFamiliesGolden renders the five-family head-to-head table at quick
+// sizes and diffs it byte-for-byte against the checked-in golden. The
+// experiment is a pure function of the registered workload suite and the
+// synthetic trace catalogue (fixed seeds, ID-ordered rendering), so any
+// drift is a cost-model change that must be reviewed — and, when
+// intended, blessed with
+// `go test ./internal/experiments -run FamiliesGolden -update`.
+func TestFamiliesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-size workload suite")
+	}
+	var buf bytes.Buffer
+	if err := Run("families", &Context{Out: &buf, Quick: true}); err != nil {
+		t.Fatalf("rendering the families experiment: %v", err)
+	}
+	got := buf.Bytes()
+
+	golden := filepath.Join("testdata", "families_quick.golden")
+	if *updateFamilies {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (re-bless with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("families table drifted from %s:\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestFamiliesShape pins the analytic structure of the head-to-head:
+// every row is a divergent workload; ITS never beats the Ivy Bridge
+// baseline (its reduction is ≤ 0); melding and SCC reductions are at
+// least BCC's on every row (both subsume dead-quad skipping); and the
+// winner column names a contender whose reduction matches the row
+// maximum.
+func TestFamiliesShape(t *testing.T) {
+	rows, err := Families(context.Background(), true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no divergent workloads in the suite")
+	}
+	for _, r := range rows {
+		if r.ITS > 0 {
+			t.Errorf("%s: ITS reduction %.3f > 0 — ITS must never beat the baseline issue count", r.Name, r.ITS)
+		}
+		if r.SCC < r.BCC-1e-12 {
+			t.Errorf("%s: scc %.3f < bcc %.3f", r.Name, r.SCC, r.BCC)
+		}
+		if r.Meld < r.BCC-1e-12 {
+			t.Errorf("%s: meld %.3f < bcc %.3f", r.Name, r.Meld, r.BCC)
+		}
+		if r.Resize > r.BCC+1e-12 {
+			t.Errorf("%s: resize %.3f > bcc %.3f — resize cannot skip partial quads", r.Name, r.Resize, r.BCC)
+		}
+		if _, err := compaction.ParsePolicy(r.Best); err != nil {
+			t.Errorf("%s: best column %q is not a policy", r.Name, r.Best)
+		}
+	}
+}
+
+// TestSubWarpSweepShape pins the sensitivity sweep's analytic endpoints:
+// at the hardware group size Resize degenerates to BCC (max reduction of
+// the family), at full warp width it degenerates to the baseline (zero
+// reduction), and reduction is non-increasing in sub-warp width.
+func TestSubWarpSweepShape(t *testing.T) {
+	rows := SubWarpSweep(true, 0)
+	if len(rows) == 0 {
+		t.Fatal("no synthetic trace streams")
+	}
+	for _, r := range rows {
+		if got := len(r.Reduction); got != len(SubWarpWidths) {
+			t.Fatalf("%s: %d reductions for %d widths", r.Name, got, len(SubWarpWidths))
+		}
+		last := r.Reduction[len(r.Reduction)-1]
+		if last != 0 {
+			t.Errorf("%s: S=32 reduction = %.4f, want 0 (whole-warp sub-warp is the baseline)", r.Name, last)
+		}
+		for j := 1; j < len(r.Reduction); j++ {
+			if r.Reduction[j] > r.Reduction[j-1]+1e-12 {
+				t.Errorf("%s: reduction rises from S=%d to S=%d (%.4f -> %.4f)",
+					r.Name, SubWarpWidths[j-1], SubWarpWidths[j], r.Reduction[j-1], r.Reduction[j])
+			}
+		}
+	}
+}

@@ -126,13 +126,16 @@ func runFig8(ctx *Context) error {
 	if err != nil {
 		return err
 	}
-	t := newTable("pattern", "baseline", "ivb (paper's HW)", "bcc", "scc")
+	t := newTable("pattern", "baseline", "ivb (paper's HW)", "bcc", "scc", "meld", "resize", "its")
 	for _, r := range results {
 		t.add(fmt.Sprintf("0x%04X", r.Pattern),
 			fmt.Sprintf("%.0f%%", 100*r.Relative[compaction.Baseline]),
 			fmt.Sprintf("%.0f%%", 100*r.Relative[compaction.IvyBridge]),
 			fmt.Sprintf("%.0f%%", 100*r.Relative[compaction.BCC]),
-			fmt.Sprintf("%.0f%%", 100*r.Relative[compaction.SCC]))
+			fmt.Sprintf("%.0f%%", 100*r.Relative[compaction.SCC]),
+			fmt.Sprintf("%.0f%%", 100*r.Relative[compaction.Melding]),
+			fmt.Sprintf("%.0f%%", 100*r.Relative[compaction.Resize]),
+			fmt.Sprintf("%.0f%%", 100*r.Relative[compaction.ITS]))
 	}
 	t.render(ctx.Out)
 	ctx.printf("paper (ivb column): 0xFFFF=100%% 0xF0F0=200%% 0x00FF=100%% 0xFF0F~150%% 0xAAAA=200%%\n")

@@ -249,7 +249,7 @@ func SweepWorkloads(names ...string) SweepOption {
 	}
 }
 
-// SweepPolicies selects the policy axis; the default is all four.
+// SweepPolicies selects the policy axis; the default is all seven.
 func SweepPolicies(ps ...compaction.Policy) SweepOption {
 	return func(s *Sweep) error {
 		s.policies = append(s.policies, ps...)
@@ -327,7 +327,7 @@ func SweepWorkers(k int) SweepOption {
 }
 
 // NewSweep builds a sweep grid from the options. Unset axes default to
-// all four policies × native width × default size.
+// all seven policies × native width × default size.
 func NewSweep(opts ...SweepOption) (*Sweep, error) {
 	s := &Sweep{}
 	for _, o := range opts {

@@ -37,7 +37,7 @@ func freshRun(t testing.TB, name string, p compaction.Policy, size, workers int)
 }
 
 // TestSweepSingleExecutionPerWorkload is the trace-once guarantee: a
-// full 4-policy sweep performs exactly as many functional launches as
+// full seven-policy sweep performs exactly as many functional launches as
 // executing each workload once — the policy axis is served entirely by
 // trace replays.
 func TestSweepSingleExecutionPerWorkload(t *testing.T) {
@@ -288,7 +288,7 @@ func TestSweepOptionValidation(t *testing.T) {
 	}
 }
 
-// TestSweepDefaults checks the default axes: all four policies at native
+// TestSweepDefaults checks the default axes: all seven policies at native
 // width and default (here quick) size.
 func TestSweepDefaults(t *testing.T) {
 	sw, err := NewSweep(SweepWorkloads("bsearch"), SweepQuick())
@@ -307,7 +307,7 @@ func TestSweepDefaults(t *testing.T) {
 }
 
 // BenchmarkSweepGridReplay measures the trace-once sweep over a 3
-// workload × 4 policy grid; BenchmarkSweepGridExecute is the pre-replay
+// workload × 7 policy grid; BenchmarkSweepGridExecute is the pre-replay
 // path over the same grid (one functional execution per cell). Both run
 // serially (Workers 1) so the comparison is engine vs engine, not
 // scheduling. Their ratio is the sweep engine's headline speedup.

@@ -109,6 +109,49 @@ func (m Mask) ActiveQuads(width, group int) int {
 	return n
 }
 
+// fullNibbles[b] is the number of all-ones 4-bit groups in byte b. It
+// backs the FullQuads fast path for 32-bit datatypes the same way
+// nzNibbles backs ActiveQuads.
+var fullNibbles [256]uint8
+
+func init() {
+	for b := 0; b < 256; b++ {
+		if b&0x0F == 0x0F {
+			fullNibbles[b]++
+		}
+		if b&0xF0 == 0xF0 {
+			fullNibbles[b]++
+		}
+	}
+}
+
+// FullQuads reports how many execution groups of the given width have
+// every in-width lane enabled — the quads that offer the melding policy
+// no dead lanes to host a fused branch twin. A trailing ragged quad
+// (width not a multiple of group) counts as full when all of its
+// existing lanes are enabled.
+func (m Mask) FullQuads(width, group int) int {
+	if group == 1 {
+		return m.Trunc(width).PopCount()
+	}
+	if group == 4 && width%4 == 0 {
+		v := uint32(m.Trunc(width))
+		return int(fullNibbles[v&0xFF] + fullNibbles[v>>8&0xFF] + fullNibbles[v>>16&0xFF] + fullNibbles[v>>24])
+	}
+	quads := QuadCount(width, group)
+	n := 0
+	for q := 0; q < quads; q++ {
+		lanes := group
+		if rem := width - q*group; rem < lanes {
+			lanes = rem
+		}
+		if m.Quad(q, group)&Full(lanes) == Full(lanes) {
+			n++
+		}
+	}
+	return n
+}
+
 // OptimalCycles returns ceil(popcount/group) clamped to the instruction's
 // lanes: the minimum number of execution cycles any compaction scheme can
 // achieve for this mask (Swizzled Cycle Compression reaches it).

@@ -39,6 +39,7 @@ func (v *Violation) Error() string {
 // policies the oracle fails loudly instead of comparing apples to pears.
 var enginePolicies = [NumPolicies]compaction.Policy{
 	compaction.Baseline, compaction.IvyBridge, compaction.BCC, compaction.SCC,
+	compaction.Melding, compaction.Resize, compaction.ITS,
 }
 
 func init() {
@@ -82,19 +83,41 @@ func CheckRecord(idx int, width, group int, m mask.Mask, cost CostFunc) *Violati
 		}
 	}
 
-	// Cost ladder: scc ≤ bcc ≤ ivb ≤ baseline.
-	if !(engine[SCC] <= engine[BCC] && engine[BCC] <= engine[IvyBridge] && engine[IvyBridge] <= engine[Baseline]) {
-		return fail("cost/ladder", "scc=%d bcc=%d ivb=%d baseline=%d is not monotone",
-			engine[SCC], engine[BCC], engine[IvyBridge], engine[Baseline])
+	// Cost ladder: scc ≤ bcc ≤ resize ≤ ivb ≤ baseline. Resize at
+	// sub-warp width 8 generalizes the Ivy Bridge half-off rule, so it can
+	// never lose to ivb; it skips only whole dead sub-warps, so it can
+	// never beat bcc.
+	if !(engine[SCC] <= engine[BCC] && engine[BCC] <= engine[Resize] &&
+		engine[Resize] <= engine[IvyBridge] && engine[IvyBridge] <= engine[Baseline]) {
+		return fail("cost/ladder", "scc=%d bcc=%d resize=%d ivb=%d baseline=%d is not monotone",
+			engine[SCC], engine[BCC], engine[Resize], engine[IvyBridge], engine[Baseline])
+	}
+	// Melding amortizes partial quads onto the fused twin: never worse
+	// than bcc, and never below half the scc optimum (each issue slot
+	// retires at most two partial quads' worth of this mask's work).
+	if engine[Melding] > engine[BCC] {
+		return fail("cost/ladder", "meld=%d exceeds bcc=%d", engine[Melding], engine[BCC])
+	}
+	if 2*engine[Melding] < engine[SCC] {
+		return fail("cost/ladder", "meld=%d undercuts ceil(scc/2) of scc=%d", engine[Melding], engine[SCC])
+	}
+	// ITS issues every pass at full width: exactly the baseline count.
+	if engine[ITS] != engine[Baseline] {
+		return fail("cost/ladder", "its=%d differs from baseline=%d", engine[ITS], engine[Baseline])
 	}
 
 	// Bounds: every policy within [ceil(pop/group), ceil(width/group)],
-	// floored at one issue slot.
+	// floored at one issue slot. Melding is exempt from the lower bound
+	// (its floor is ceil(scc/2), enforced above).
 	lo, hi := CycleBounds(bits, width, group)
 	for i := range engine {
-		if engine[i] < lo || engine[i] > hi {
+		effLo := lo
+		if i == Melding {
+			effLo = 1
+		}
+		if engine[i] < effLo || engine[i] > hi {
 			return fail("cost/bounds", "%s charges %d cycles outside [%d, %d]",
-				PolicyName(i), engine[i], lo, hi)
+				PolicyName(i), engine[i], effLo, hi)
 		}
 	}
 

@@ -35,10 +35,10 @@ func TestCorpusDiffClean(t *testing.T) {
 }
 
 // TestCorpusDiffTimedSmoke runs one corpus kernel through the timed
-// engine under all four policies.
+// engine under all seven policies.
 func TestCorpusDiffTimedSmoke(t *testing.T) {
 	if testing.Short() {
-		t.Skip("timed runs under four policies")
+		t.Skip("timed runs under seven policies")
 	}
 	sum, err := DiffCorpus(context.Background(), CorpusOptions{
 		Profile: "mixed", Seed: corpusTestSeed, Lo: 0, Hi: 1,

@@ -106,13 +106,13 @@ func TestDiffCatchesSeededBCCFault(t *testing.T) {
 }
 
 // TestDiffTimedSmoke runs the full five-stage pipeline — including the
-// timed engine under all four policies — on one small multi-launch
+// timed engine under all seven policies — on one small multi-launch
 // workload. Multi-launch matters: per-launch EU statistics and
 // cross-launch timing-state resets are exactly what stage 5 verifies
 // (both were broken before this harness existed; see DESIGN.md §10).
 func TestDiffTimedSmoke(t *testing.T) {
 	if testing.Short() {
-		t.Skip("timed runs under four policies")
+		t.Skip("timed runs under seven policies")
 	}
 	sum, err := Diff(context.Background(), Options{Specs: specsFor(t, "bfs"), Quick: true, Timed: true})
 	if err != nil {

@@ -71,14 +71,15 @@ func TestTickEventParitySuite(t *testing.T) {
 	}
 }
 
-// TestTickEventParityCorpus diffs the cores over a 200-kernel window of
-// the generated corpus, split evenly across the generator profiles —
-// structured control flow, barriers, SLM traffic, and gather/scatter
-// patterns the hand-written suite does not reach.
+// TestTickEventParityCorpus diffs the cores over a 210-kernel window of
+// the generated corpus (a multiple of the seven-policy round-robin),
+// split evenly across the generator profiles — structured control flow,
+// barriers, SLM traffic, and gather/scatter patterns the hand-written
+// suite does not reach.
 func TestTickEventParityCorpus(t *testing.T) {
-	const total = 200
+	const total = 210
 	if testing.Short() {
-		t.Skip("200 corpus kernels × 2 cores")
+		t.Skip("210 corpus kernels × 2 cores")
 	}
 	per := total / len(kgen.Profiles)
 	for _, prof := range kgen.Profiles {
@@ -91,7 +92,7 @@ func TestTickEventParityCorpus(t *testing.T) {
 			}
 			for i, spec := range specs {
 				// One policy per kernel, round-robin, so the window
-				// exercises all four policies without quadrupling cost.
+				// exercises all seven policies without multiplying cost.
 				assertParity(t, spec, enginePolicies[i%NumPolicies], 0)
 			}
 		})
@@ -100,13 +101,13 @@ func TestTickEventParityCorpus(t *testing.T) {
 
 // TestTickEventOracleDiff runs the full five-stage differential
 // pipeline — including per-record CheckTrace invariants and the timed
-// stage under all four policies — on the tick core explicitly. The
+// stage under all seven policies — on the tick core explicitly. The
 // default-engine pipeline (make verify) covers the event core; together
 // they prove both cores agree with the independent oracle, not merely
 // with each other.
 func TestTickEventOracleDiff(t *testing.T) {
 	if testing.Short() {
-		t.Skip("timed runs under four policies")
+		t.Skip("timed runs under seven policies")
 	}
 	sum, err := Diff(context.Background(), Options{
 		Specs: specsFor(t, "bfs"), Quick: true, Timed: true, Engine: gpu.EngineTick,

@@ -20,15 +20,20 @@ package oracle
 // If a bug ever creeps into internal/mask or internal/compaction, this
 // file cannot inherit it.
 
-// Policy indices of the reference model, weakest to strongest. They
-// mirror the engine's compaction.Policy order; TestModelIndependence's
-// companion checks in oracle_test.go pin the correspondence.
+// Policy indices of the reference model: the paper's four, weakest to
+// strongest, then the related-work competitors (DARM melding, dynamic
+// warp resizing, Volta ITS). They mirror the engine's compaction.Policy
+// order; TestModelIndependence's companion checks in oracle_test.go pin
+// the correspondence.
 const (
 	Baseline = 0
 	IvyBridge = 1
 	BCC = 2
 	SCC = 3
-	NumPolicies = 4
+	Melding = 4
+	Resize = 5
+	ITS = 6
+	NumPolicies = 7
 )
 
 // PolicyName names a reference policy index the way the engine prints it.
@@ -42,6 +47,12 @@ func PolicyName(p int) string {
 		return "bcc"
 	case SCC:
 		return "scc"
+	case Melding:
+		return "meld"
+	case Resize:
+		return "resize"
+	case ITS:
+		return "its"
 	}
 	return "?"
 }
@@ -156,6 +167,91 @@ func SCCCycles(bits uint32, width, group int) int {
 	return atLeastOne((pop + group - 1) / group)
 }
 
+// groupFull reports whether execution group q has every in-width lane
+// enabled. A trailing ragged group counts as full when all of its
+// existing lanes are enabled.
+func groupFull(bits uint32, width, group, q int) bool {
+	for i := 0; i < group; i++ {
+		lane := q*group + i
+		if lane >= width {
+			break
+		}
+		if !laneOn(bits, width, lane) {
+			return false
+		}
+	}
+	return true
+}
+
+// MeldingCycles models DARM-style control-flow melding (Saumya et al.,
+// PAPERS.md): the if and else sides of a divergent region fuse, so a
+// partially-enabled group shares an issue slot with its twin on the
+// complementary path. Per instruction that amortizes to: fully-enabled
+// groups issue alone, partially-enabled groups cost half a slot each
+// (rounded up), dead groups vanish. This is the family's optimistic
+// bound — every divergent region is assumed meldable.
+func MeldingCycles(bits uint32, width, group int) int {
+	full, partial := 0, 0
+	for q := 0; q < Groups(width, group); q++ {
+		if !groupActive(bits, width, group, q) {
+			continue
+		}
+		if groupFull(bits, width, group, q) {
+			full++
+		} else {
+			partial++
+		}
+	}
+	return atLeastOne(full + (partial+1)/2)
+}
+
+// ResizeSubWarpWidth is the sub-warp width (in lanes) of the Resize
+// reference model, matching the engine's DefaultSubWarpWidth.
+const ResizeSubWarpWidth = 8
+
+// ResizeCyclesAt models dynamic warp resizing (Lashgar et al.,
+// PAPERS.md) at an explicit sub-warp width: the warp splits into aligned
+// sub-warps of sub lanes (rounded up to whole execution groups, at
+// least one group); a sub-warp with no enabled lane is never issued,
+// an issued sub-warp executes all of its group cycles.
+func ResizeCyclesAt(bits uint32, width, group, sub int) int {
+	if sub <= 0 {
+		sub = ResizeSubWarpWidth
+	}
+	eff := (sub + group - 1) / group * group
+	if eff < group {
+		eff = group
+	}
+	c := 0
+	for start := 0; start < width; start += eff {
+		active := false
+		lanes := 0
+		for i := start; i < start+eff && i < width; i++ {
+			lanes++
+			if laneOn(bits, width, i) {
+				active = true
+			}
+		}
+		if active {
+			c += (lanes + group - 1) / group
+		}
+	}
+	return atLeastOne(c)
+}
+
+// ResizeCycles is ResizeCyclesAt at the default sub-warp width.
+func ResizeCycles(bits uint32, width, group int) int {
+	return ResizeCyclesAt(bits, width, group, ResizeSubWarpWidth)
+}
+
+// ITSCycles models a Volta-style independent-thread-scheduling baseline
+// (SNIPPETS.md snippet 2): divergent passes may interleave for forward
+// progress and latency hiding, but each pass still issues at the full
+// SIMD width — the issue-cycle count is exactly the baseline's.
+func ITSCycles(bits uint32, width, group int) int {
+	return BaselineCycles(bits, width, group)
+}
+
 // Cycles returns the reference cycle count of one policy index.
 func Cycles(p int, bits uint32, width, group int) int {
 	switch p {
@@ -167,25 +263,38 @@ func Cycles(p int, bits uint32, width, group int) int {
 		return BCCCycles(bits, width, group)
 	case SCC:
 		return SCCCycles(bits, width, group)
+	case Melding:
+		return MeldingCycles(bits, width, group)
+	case Resize:
+		return ResizeCycles(bits, width, group)
+	case ITS:
+		return ITSCycles(bits, width, group)
 	}
 	return BaselineCycles(bits, width, group)
 }
 
-// AllCycles returns the reference cycle counts of all four policies,
-// indexed [Baseline, IvyBridge, BCC, SCC].
+// AllCycles returns the reference cycle counts of all seven policies,
+// indexed [Baseline, IvyBridge, BCC, SCC, Melding, Resize, ITS].
 func AllCycles(bits uint32, width, group int) [NumPolicies]int {
 	return [NumPolicies]int{
 		BaselineCycles(bits, width, group),
 		IVBCycles(bits, width, group),
 		BCCCycles(bits, width, group),
 		SCCCycles(bits, width, group),
+		MeldingCycles(bits, width, group),
+		ResizeCycles(bits, width, group),
+		ITSCycles(bits, width, group),
 	}
 }
 
 // CycleBounds returns the invariant envelope of DESIGN.md §5 for any
-// policy: no scheme can beat ceil(popcount/group) cycles, none may
-// exceed the baseline's ceil(width/group), and every instruction
-// occupies at least one issue slot.
+// single-instruction policy: no scheme can beat ceil(popcount/group)
+// cycles, none may exceed the baseline's ceil(width/group), and every
+// instruction occupies at least one issue slot. Melding is the one
+// exception to the lower bound — its per-instruction cost amortizes
+// work onto the fused twin on the complementary branch path, so it may
+// undercut ceil(popcount/group); its own floor is ceil(scc/2)
+// (CheckRecord enforces that separately).
 func CycleBounds(bits uint32, width, group int) (lo, hi int) {
 	return SCCCycles(bits, width, group), BaselineCycles(bits, width, group)
 }
@@ -222,12 +331,35 @@ func SCCSwizzles(bits uint32, width, group int) int {
 // group; Ivy Bridge fetches only the live half when its half-mask rule
 // fires; BCC fetches only non-empty groups (the half-register datapath
 // of Fig. 5b); SCC performs a single full-width fetch into the operand
-// latch and so saves nothing.
+// latch and so saves nothing. Melding fetches like BCC (the fused twin
+// fetches its own operands); Resize fetches every group of every issued
+// sub-warp; ITS fetches everything, like the baseline.
 func FetchCounts(p int, bits uint32, width, group int) (fetched, saved int) {
 	full := Groups(width, group)
 	switch p {
-	case BCC:
+	case BCC, Melding:
 		fetched = ActiveGroups(bits, width, group)
+		return fetched, full - fetched
+	case Resize:
+		// Every group cycle of ResizeCyclesAt is also a fetch; re-derive
+		// the count without the issue-slot minimum.
+		eff := (ResizeSubWarpWidth + group - 1) / group * group
+		if eff < group {
+			eff = group
+		}
+		for start := 0; start < width; start += eff {
+			active := false
+			lanes := 0
+			for i := start; i < start+eff && i < width; i++ {
+				lanes++
+				if laneOn(bits, width, i) {
+					active = true
+				}
+			}
+			if active {
+				fetched += (lanes + group - 1) / group
+			}
+		}
 		return fetched, full - fetched
 	case IvyBridge:
 		if width == 16 && full >= 2 {

@@ -24,7 +24,7 @@ func TestPolicyOrderPinned(t *testing.T) {
 }
 
 // TestModelVsEngineExhaustiveSIMD8 replays every SIMD8 mask through the
-// full per-record checker — all four cycle models, schedule invariants
+// full per-record checker — all seven cycle models, schedule invariants
 // (fresh and memoized), swizzle counts, fetch accounting — at every
 // group size the ISA produces (2 for 64-bit, 4 for 32-bit, 8 for 16-bit
 // types).

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// The competitor divergence policies over the HTTP API: every new
+// policy name is a first-class /v1/run and /v1/sweep axis value, each
+// names a distinct cache entry, aliases canonicalize onto their
+// policy's entry, and unknown names are still rejected up front.
+
+// TestRunNewPolicyValues runs the same workload under every competitor
+// policy (and each literature alias) and checks the policy threads
+// through to the report.
+func TestRunNewPolicyValues(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for policy, canonical := range map[string]string{
+		"meld": "meld", "melding": "meld", "darm": "meld",
+		"resize": "resize", "dwr": "resize",
+		"its": "its", "volta": "its",
+	} {
+		body := fmt.Sprintf(`{"workload":"bsearch","policy":%q,"size":300,"timed":true}`, policy)
+		resp, data := post(t, ts, "/v1/run", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("policy %q: status %d: %s", policy, resp.StatusCode, data)
+		}
+		var parsed struct {
+			Request struct {
+				Policy string `json:"policy"`
+			} `json:"request"`
+			Report struct {
+				Timed *struct {
+					Policy      string `json:"policy"`
+					TotalCycles int64  `json:"totalCycles"`
+				} `json:"timed"`
+			} `json:"report"`
+		}
+		if err := json.Unmarshal(data, &parsed); err != nil {
+			t.Fatalf("policy %q: bad response: %v", policy, err)
+		}
+		if parsed.Request.Policy != canonical {
+			t.Errorf("policy %q echoed as %q, want canonical %q", policy, parsed.Request.Policy, canonical)
+		}
+		if parsed.Report.Timed == nil || parsed.Report.Timed.Policy != canonical || parsed.Report.Timed.TotalCycles <= 0 {
+			t.Errorf("policy %q: implausible timed report: %s", policy, data)
+		}
+	}
+}
+
+// TestRunPolicyCacheKeyDistinctness checks the cache contract of the
+// expanded policy axis: each canonical policy is its own cache entry
+// (first request misses), aliases hit the canonical entry byte-for-byte,
+// and distinct policies never share response bytes on a timed run.
+func TestRunPolicyCacheKeyDistinctness(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	canonical := []string{"bcc", "meld", "resize", "its"}
+	responses := map[string][]byte{}
+	for _, policy := range canonical {
+		body := fmt.Sprintf(`{"workload":"bsearch","policy":%q,"size":300,"timed":true}`, policy)
+		resp, data := post(t, ts, "/v1/run", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("policy %q: status %d", policy, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Cache"); got != "miss" {
+			t.Errorf("policy %q: first request X-Cache = %q, want miss (distinct cache key)", policy, got)
+		}
+		responses[policy] = data
+	}
+	for i, a := range canonical {
+		for _, b := range canonical[i+1:] {
+			if bytes.Equal(responses[a], responses[b]) {
+				t.Errorf("policies %q and %q produced identical response bytes", a, b)
+			}
+		}
+	}
+	// Aliases canonicalize onto the already-populated entries.
+	for alias, canon := range map[string]string{"darm": "meld", "dwr": "resize", "volta": "its"} {
+		body := fmt.Sprintf(`{"workload":"bsearch","policy":%q,"size":300,"timed":true}`, alias)
+		resp, data := post(t, ts, "/v1/run", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("alias %q: status %d", alias, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Cache"); got != "hit" {
+			t.Errorf("alias %q: X-Cache = %q, want hit on the %q entry", alias, got, canon)
+		}
+		if !bytes.Equal(data, responses[canon]) {
+			t.Errorf("alias %q bytes differ from canonical %q response", alias, canon)
+		}
+	}
+	if m := scrapeMetrics(t, ts); m["simulations_total"] != int64(len(canonical)) {
+		t.Errorf("simulations_total = %d, want %d (one per canonical policy, none per alias)",
+			m["simulations_total"], len(canonical))
+	}
+}
+
+// TestSweepNewPolicyAxis sweeps an explicit competitor-policy axis and
+// rejects an axis naming an unknown policy.
+func TestSweepNewPolicyAxis(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := post(t, ts, "/v1/sweep",
+		`{"workloads":["bsearch"],"policies":["meld","resize","its"],"sizes":[300]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	results, errLines, sum := readSweep(t, bytes.NewReader(data))
+	if len(errLines) != 0 {
+		t.Fatalf("error line: %s", errLines[0])
+	}
+	if sum.Cells != 3 || sum.Executions != 1 || !sum.Complete {
+		t.Errorf("summary = %+v, want 3 cells from 1 execution, complete", sum)
+	}
+	seen := map[string]bool{}
+	for _, line := range results {
+		var probe struct {
+			Request struct {
+				Policy string `json:"policy"`
+			} `json:"request"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatal(err)
+		}
+		seen[probe.Request.Policy] = true
+	}
+	for _, p := range []string{"meld", "resize", "its"} {
+		if !seen[p] {
+			t.Errorf("policy %q missing from sweep cells: %v", p, seen)
+		}
+	}
+
+	badResp, badData := post(t, ts, "/v1/sweep",
+		`{"workloads":["bsearch"],"policies":["meld","warp-shuffle"]}`)
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown policy in axis: status %d (%s), want 400", badResp.StatusCode, badData)
+	}
+}

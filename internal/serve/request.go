@@ -25,8 +25,10 @@ type RunRequest struct {
 	SIMDWidth int `json:"simdWidth,omitempty"`
 	// Timed selects the cycle-level simulator (default: functional).
 	Timed bool `json:"timed,omitempty"`
-	// Policy is the compaction policy name ("baseline", "ivb", "bcc",
-	// "scc"); empty selects Ivy Bridge.
+	// Policy is the divergence-policy name ("baseline", "ivb", "bcc",
+	// "scc", "meld", "resize", "its", or an alias like "darm"/"dwr"/
+	// "volta"); empty selects Ivy Bridge. Names are canonicalized before
+	// caching, so aliases share their policy's cache entry.
 	Policy string `json:"policy,omitempty"`
 	// DCLinesPerCycle is the data-cluster bandwidth; 0 selects the
 	// paper's DC1.
@@ -125,12 +127,12 @@ func (r ExperimentRequest) key() string {
 // (workload, width, size, memory-config) group are evaluated
 // trace-once, cost-many: one functional execution captures the group's
 // execution-mask trace and every policy cell is a bit-parallel replay
-// of it (internal/trace), so a 4-policy sweep costs one execution per
+// of it (internal/trace), so a full-policy sweep costs one execution per
 // group, not four.
 type SweepRequest struct {
 	// Workloads is the workload axis; at least one name is required.
 	Workloads []string `json:"workloads"`
-	// Policies is the policy axis; empty selects all four.
+	// Policies is the policy axis; empty selects all seven.
 	Policies []string `json:"policies,omitempty"`
 	// SIMDWidths is the width axis in lanes, 0 meaning the kernel's
 	// native width; empty selects native only.

@@ -55,7 +55,7 @@ func readSweep(t *testing.T, body io.Reader) (results, errLines [][]byte, sum sw
 }
 
 // TestSweepCellsByteIdenticalToRun is the API contract at its core: a
-// sweep over two workloads serves 4-policy grids from two executions
+// sweep over two workloads serves full policy grids from two executions
 // (trace-once), every streamed cell is byte-for-byte the /v1/run
 // response of the request it echoes — including one computed by a fresh
 // execution on an independent server — and the cells share the /v1/run
@@ -74,12 +74,12 @@ func TestSweepCellsByteIdenticalToRun(t *testing.T) {
 	if len(errLines) != 0 {
 		t.Fatalf("sweep produced %d error lines: %s", len(errLines), errLines[0])
 	}
-	want := sweepSummary{Cells: 8, CacheHits: 0, Executions: 2, Replays: 8, Failed: 0, Complete: true}
+	want := sweepSummary{Cells: 14, CacheHits: 0, Executions: 2, Replays: 14, Failed: 0, Complete: true}
 	if sum != want {
 		t.Errorf("summary = %+v, want %+v", sum, want)
 	}
-	if len(results) != 8 {
-		t.Fatalf("got %d result lines, want 8", len(results))
+	if len(results) != 14 {
+		t.Fatalf("got %d result lines, want 14", len(results))
 	}
 
 	// Each cell line must be the exact /v1/run response of its echoed
@@ -130,8 +130,8 @@ func TestSweepCellsByteIdenticalToRun(t *testing.T) {
 
 	m := scrapeMetrics(t, ts)
 	for metric, want := range map[string]int64{
-		"sweeps_total": 1, "sweep_cells_total": 8,
-		"sweep_executions_total": 2, "sweep_replays_total": 8,
+		"sweeps_total": 1, "sweep_cells_total": 14,
+		"sweep_executions_total": 2, "sweep_replays_total": 14,
 		"simulations_total": 2,
 	} {
 		if m[metric] != want {
@@ -147,7 +147,7 @@ func TestSweepCellsByteIdenticalToRun(t *testing.T) {
 		t.Fatalf("repeat status %d", resp2.StatusCode)
 	}
 	results2, _, sum2 := readSweep(t, bytes.NewReader(data2))
-	want2 := sweepSummary{Cells: 8, CacheHits: 8, Executions: 0, Replays: 0, Failed: 0, Complete: true}
+	want2 := sweepSummary{Cells: 14, CacheHits: 14, Executions: 0, Replays: 0, Failed: 0, Complete: true}
 	if sum2 != want2 {
 		t.Errorf("repeat summary = %+v, want %+v", sum2, want2)
 	}
@@ -169,12 +169,12 @@ func TestSweepCellsByteIdenticalToRun(t *testing.T) {
 
 // TestSweepFlushesPartialResultsAndDisconnectCancels drives the two
 // streaming guarantees at once. A single-slot server gets a two-group
-// sweep — one tiny group, one multi-second group. The tiny group's four
+// sweep — one tiny group, one multi-second group. The tiny group's seven
 // cells must arrive while the big group is still simulating (prompt
 // flushing, no whole-sweep buffering). Then the client disconnects:
 // the big group's run must be cancelled, and nothing from it may enter
 // the cache — a follow-up sweep over the tiny group alone is served
-// complete, from cache, with the cache still holding exactly the four
+// complete, from cache, with the cache still holding exactly the seven
 // complete cells.
 func TestSweepFlushesPartialResultsAndDisconnectCancels(t *testing.T) {
 	_, ts := newTestServer(t, Config{Concurrency: 1})
@@ -201,7 +201,7 @@ func TestSweepFlushesPartialResultsAndDisconnectCancels(t *testing.T) {
 	// The fast group's cells arrive while the stream is still open.
 	br := bufio.NewReader(resp.Body)
 	var early [][]byte
-	for len(early) < 4 {
+	for len(early) < 7 {
 		line, err := br.ReadBytes('\n')
 		if err != nil {
 			t.Fatalf("stream ended after %d lines: %v", len(early), err)
@@ -216,11 +216,11 @@ func TestSweepFlushesPartialResultsAndDisconnectCancels(t *testing.T) {
 			t.Fatalf("early line is not a result: %q", line)
 		}
 	}
-	// Flush-promptness proof: four results are in hand while the big
+	// Flush-promptness proof: seven results are in hand while the big
 	// group still holds the only run slot.
 	m := waitMetrics(t, ts, 10*time.Second, func(m map[string]int64) bool { return m["in_flight"] == 1 })
-	if m["sweep_cells_total"] != 4 {
-		t.Errorf("sweep_cells_total = %d while big group in flight, want 4", m["sweep_cells_total"])
+	if m["sweep_cells_total"] != 7 {
+		t.Errorf("sweep_cells_total = %d while big group in flight, want 7", m["sweep_cells_total"])
 	}
 
 	// Disconnect mid-stream: the big group's run must stop.
@@ -228,11 +228,11 @@ func TestSweepFlushesPartialResultsAndDisconnectCancels(t *testing.T) {
 	waitMetrics(t, ts, 5*time.Second, func(m map[string]int64) bool { return m["in_flight"] == 0 })
 	m = waitMetrics(t, ts, 2*time.Second, func(m map[string]int64) bool { return m["cancelled_total"] > 0 })
 
-	// No cache poisoning: only the four completed cells are cached, and
+	// No cache poisoning: only the seven completed cells are cached, and
 	// a follow-up sweep over the fast group is complete without a single
 	// new execution.
-	if m["cache_entries"] != 4 {
-		t.Errorf("cache holds %d entries after disconnect, want 4 (the completed group only)", m["cache_entries"])
+	if m["cache_entries"] != 7 {
+		t.Errorf("cache holds %d entries after disconnect, want 7 (the completed group only)", m["cache_entries"])
 	}
 	resp2, data2 := post(t, ts, "/v1/sweep", `{"workloads":["bsearch"],"sizes":[400]}`)
 	if resp2.StatusCode != http.StatusOK {
@@ -242,7 +242,7 @@ func TestSweepFlushesPartialResultsAndDisconnectCancels(t *testing.T) {
 	if len(errLines2) != 0 {
 		t.Fatalf("follow-up sweep errored: %s", errLines2[0])
 	}
-	want := sweepSummary{Cells: 4, CacheHits: 4, Executions: 0, Replays: 0, Failed: 0, Complete: true}
+	want := sweepSummary{Cells: 7, CacheHits: 7, Executions: 0, Replays: 0, Failed: 0, Complete: true}
 	if sum2 != want {
 		t.Errorf("follow-up summary = %+v, want %+v", sum2, want)
 	}

@@ -20,9 +20,14 @@ type Report struct {
 		IvyBridge int64 `json:"ivb"`
 		BCC       int64 `json:"bcc"`
 		SCC       int64 `json:"scc"`
+		Melding   int64 `json:"meld"`
+		Resize    int64 `json:"resize"`
+		ITS       int64 `json:"its"`
 	} `json:"euCycles"`
-	BCCReduction float64 `json:"bccReductionVsIVB"`
-	SCCReduction float64 `json:"sccReductionVsIVB"`
+	BCCReduction  float64 `json:"bccReductionVsIVB"`
+	SCCReduction  float64 `json:"sccReductionVsIVB"`
+	MeldReduction float64 `json:"meldReductionVsIVB"`
+	RszReduction  float64 `json:"resizeReductionVsIVB"`
 
 	Timed *TimedReport `json:"timed,omitempty"`
 
@@ -68,14 +73,19 @@ func (r *Run) Report() *Report {
 		Instructions: r.Instructions,
 		Efficiency:   r.SIMDEfficiency(),
 		Divergent:    r.Divergent(),
-		BCCReduction: r.EUCycleReduction(compaction.BCC),
-		SCCReduction: r.EUCycleReduction(compaction.SCC),
-		Histogram:    map[int]HistEntry{},
+		BCCReduction:  r.EUCycleReduction(compaction.BCC),
+		SCCReduction:  r.EUCycleReduction(compaction.SCC),
+		MeldReduction: r.EUCycleReduction(compaction.Melding),
+		RszReduction:  r.EUCycleReduction(compaction.Resize),
+		Histogram:     map[int]HistEntry{},
 	}
 	rep.EUCycles.Baseline = r.PolicyCycles[compaction.Baseline]
 	rep.EUCycles.IvyBridge = r.PolicyCycles[compaction.IvyBridge]
 	rep.EUCycles.BCC = r.PolicyCycles[compaction.BCC]
 	rep.EUCycles.SCC = r.PolicyCycles[compaction.SCC]
+	rep.EUCycles.Melding = r.PolicyCycles[compaction.Melding]
+	rep.EUCycles.Resize = r.PolicyCycles[compaction.Resize]
+	rep.EUCycles.ITS = r.PolicyCycles[compaction.ITS]
 	rep.Memory.Sends = r.Sends
 	rep.Memory.LinesPerSend = r.LinesPerSend()
 	rep.Memory.SLMAccesses = r.Mem.SLMAccesses

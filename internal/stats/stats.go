@@ -47,7 +47,7 @@ type Run struct {
 
 	// PolicyCycles is the what-if sum of execution-pipe cycles per
 	// compaction policy, accumulated per instruction from its final
-	// execution mask. A single functional run yields all four totals.
+	// execution mask. A single functional run yields all seven totals.
 	PolicyCycles [compaction.NumPolicies]int64
 
 	// Hist maps SIMD width to its utilization histogram.
@@ -356,11 +356,14 @@ func (r *Run) Summary() string {
 	fmt.Fprintf(&b, "kernel %s (SIMD%d)\n", r.Name, r.Width)
 	fmt.Fprintf(&b, "  instructions      %d\n", r.Instructions)
 	fmt.Fprintf(&b, "  SIMD efficiency   %.3f (%s)\n", r.SIMDEfficiency(), map[bool]string{true: "divergent", false: "coherent"}[r.Divergent()])
-	fmt.Fprintf(&b, "  EU cycles         base=%d ivb=%d bcc=%d scc=%d\n",
+	fmt.Fprintf(&b, "  EU cycles         base=%d ivb=%d bcc=%d scc=%d meld=%d resize=%d its=%d\n",
 		r.PolicyCycles[compaction.Baseline], r.PolicyCycles[compaction.IvyBridge],
-		r.PolicyCycles[compaction.BCC], r.PolicyCycles[compaction.SCC])
-	fmt.Fprintf(&b, "  reduction vs ivb  bcc=%.1f%% scc=%.1f%%\n",
-		100*r.EUCycleReduction(compaction.BCC), 100*r.EUCycleReduction(compaction.SCC))
+		r.PolicyCycles[compaction.BCC], r.PolicyCycles[compaction.SCC],
+		r.PolicyCycles[compaction.Melding], r.PolicyCycles[compaction.Resize],
+		r.PolicyCycles[compaction.ITS])
+	fmt.Fprintf(&b, "  reduction vs ivb  bcc=%.1f%% scc=%.1f%% meld=%.1f%% resize=%.1f%%\n",
+		100*r.EUCycleReduction(compaction.BCC), 100*r.EUCycleReduction(compaction.SCC),
+		100*r.EUCycleReduction(compaction.Melding), 100*r.EUCycleReduction(compaction.Resize))
 	if r.TotalCycles > 0 {
 		fmt.Fprintf(&b, "  timed (%s)        total=%d cycles, EU busy=%d\n", r.TimedPolicy, r.TotalCycles, r.EUBusy)
 		fmt.Fprintf(&b, "  data cluster      %.3f lines/cycle demand\n", r.DCDemand())

@@ -56,8 +56,9 @@ func TestPolicyCyclesAccumulation(t *testing.T) {
 	r := NewRun("t", 16)
 	r.RecordInstr(16, 4, 0xAAAA)
 	r.RecordInstr(16, 4, 0x000F)
-	// baseline: 4+4; ivb: 4+2; bcc: 4+1; scc: 2+1.
-	want := [compaction.NumPolicies]int64{8, 6, 5, 3}
+	// baseline: 4+4; ivb: 4+2; bcc: 4+1; scc: 2+1; meld: 2+1;
+	// resize: 4+2; its: 4+4.
+	want := [compaction.NumPolicies]int64{8, 6, 5, 3, 3, 6, 8}
 	if r.PolicyCycles != want {
 		t.Fatalf("PolicyCycles = %v, want %v", r.PolicyCycles, want)
 	}

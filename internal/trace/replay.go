@@ -39,6 +39,7 @@ import (
 // cycles and the utilization-histogram bucket index.
 type costEntry struct {
 	ivb, bcc, scc uint8
+	meld, rsz     uint8
 	bucket        uint8 // quartile index, or emptyBucket for an all-zero mask
 }
 
@@ -56,9 +57,11 @@ var (
 func entryFor(m mask.Mask, width int) costEntry {
 	const group = 4
 	e := costEntry{
-		ivb: uint8(compaction.IvyBridge.Cycles(m, width, group)),
-		bcc: uint8(compaction.BCC.Cycles(m, width, group)),
-		scc: uint8(compaction.SCC.Cycles(m, width, group)),
+		ivb:  uint8(compaction.IvyBridge.Cycles(m, width, group)),
+		bcc:  uint8(compaction.BCC.Cycles(m, width, group)),
+		scc:  uint8(compaction.SCC.Cycles(m, width, group)),
+		meld: uint8(compaction.Melding.Cycles(m, width, group)),
+		rsz:  uint8(compaction.Resize.Cycles(m, width, group)),
 	}
 	pop := m.Trunc(width).PopCount()
 	if pop == 0 {
@@ -185,11 +188,15 @@ func replayLUT(run *stats.Run, seg []Record, width int, lut []costEntry) {
 	// Per-record costs and buckets from the LUT.
 	baseline := int64(mask.QuadCount(width, 4))
 	b.PolicyCycles[compaction.Baseline] = baseline * int64(len(seg))
+	// ITS issues every pass at full width: baseline cost, no table read.
+	b.PolicyCycles[compaction.ITS] = baseline * int64(len(seg))
 	for _, r := range seg {
 		e := lut[r.Mask&low]
 		b.PolicyCycles[compaction.IvyBridge] += int64(e.ivb)
 		b.PolicyCycles[compaction.BCC] += int64(e.bcc)
 		b.PolicyCycles[compaction.SCC] += int64(e.scc)
+		b.PolicyCycles[compaction.Melding] += int64(e.meld)
+		b.PolicyCycles[compaction.Resize] += int64(e.rsz)
 		if e.bucket == emptyBucket {
 			b.Empty++
 		} else {
@@ -209,8 +216,9 @@ func replay32(run *stats.Run, seg []Record) {
 	baseline := int64(mask.QuadCount(width, group))
 	b.PolicyCycles[compaction.Baseline] = baseline * int64(len(seg))
 	// width == 32 is outside the Ivy Bridge half-off optimization, so the
-	// IVB cost equals baseline.
+	// IVB cost equals baseline — and ITS charges baseline at every width.
 	b.PolicyCycles[compaction.IvyBridge] = baseline * int64(len(seg))
+	b.PolicyCycles[compaction.ITS] = baseline * int64(len(seg))
 	for _, r := range seg {
 		m := r.Mask
 		pop := m.PopCount()
@@ -223,8 +231,27 @@ func replay32(run *stats.Run, seg []Record) {
 		if scc < 1 {
 			scc = 1
 		}
+		// Melding: full quads issue alone, partial quads pair up.
+		fullQ := m.FullQuads(width, group)
+		meld := fullQ + (bcc-fullQ+1)/2
+		if meld < 1 {
+			meld = 1
+		}
+		// Resize at sub-warp width 8: each of the four byte-aligned
+		// sub-warps with any live lane issues its two quad cycles.
+		rsz := 0
+		for v := uint32(m); v != 0; v >>= 8 {
+			if v&0xFF != 0 {
+				rsz += 2
+			}
+		}
+		if rsz < 1 {
+			rsz = 1
+		}
 		b.PolicyCycles[compaction.BCC] += int64(bcc)
 		b.PolicyCycles[compaction.SCC] += int64(scc)
+		b.PolicyCycles[compaction.Melding] += int64(meld)
+		b.PolicyCycles[compaction.Resize] += int64(rsz)
 		if pop == 0 {
 			b.Empty++
 		} else {

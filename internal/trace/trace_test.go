@@ -69,8 +69,9 @@ func TestAnalyzeMatchesManualAccounting(t *testing.T) {
 	if run.Instructions != 3 {
 		t.Fatalf("instructions = %d", run.Instructions)
 	}
-	// baseline 4+4+4, ivb 4+4+2, bcc 4+4+1, scc 4+2+1.
-	want := [compaction.NumPolicies]int64{12, 10, 9, 7}
+	// baseline 4+4+4, ivb 4+4+2, bcc 4+4+1, scc 4+2+1, meld 4+2+1,
+	// resize 4+4+2, its 4+4+4.
+	want := [compaction.NumPolicies]int64{12, 10, 9, 7, 7, 10, 12}
 	if run.PolicyCycles != want {
 		t.Fatalf("cycles = %v, want %v", run.PolicyCycles, want)
 	}

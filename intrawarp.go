@@ -94,12 +94,17 @@ type (
 	Timeline = obs.Timeline
 )
 
-// Compaction policies, weakest to strongest.
+// Compaction policies, weakest to strongest, followed by the competitor
+// divergence schemes from the literature (DARM-style melding, dynamic
+// warp resizing, Volta-style independent thread scheduling).
 const (
 	Baseline  = compaction.Baseline
 	IvyBridge = compaction.IvyBridge
 	BCC       = compaction.BCC
 	SCC       = compaction.SCC
+	Melding   = compaction.Melding
+	Resize    = compaction.Resize
+	ITS       = compaction.ITS
 )
 
 // Timed-run cores (see DESIGN.md §13). EngineEvent — the default — jumps
@@ -284,7 +289,8 @@ func RunAllExperimentsCtx(ctx context.Context, opts ...ExperimentOption) error {
 }
 
 // ParsePolicy parses a policy name ("baseline", "ivybridge", "bcc",
-// "scc").
+// "scc", "meld", "resize", "its") or a literature alias ("melding",
+// "darm", "dwr", "volta").
 func ParsePolicy(s string) (Policy, error) { return compaction.ParsePolicy(s) }
 
 // AnalyzeTrace replays execution-mask records through all compaction cost
@@ -319,7 +325,7 @@ type (
 )
 
 // NewSweep builds a sweep grid. SweepWorkloads is required; unset axes
-// default to all four policies × native width × default size.
+// default to all seven policies × native width × default size.
 func NewSweep(opts ...SweepOption) (*Sweep, error) { return experiments.NewSweep(opts...) }
 
 // RunSweep evaluates a sweep grid with cancellation between groups.
@@ -328,7 +334,7 @@ func RunSweep(ctx context.Context, s *Sweep) (*SweepOutcome, error) { return s.R
 // Sweep axis and behavior options (see internal/experiments for details).
 func SweepWorkloads(names ...string) SweepOption { return experiments.SweepWorkloads(names...) }
 
-// SweepPolicies selects the policy axis; the default is all four.
+// SweepPolicies selects the policy axis; the default is all seven.
 func SweepPolicies(ps ...Policy) SweepOption { return experiments.SweepPolicies(ps...) }
 
 // SweepWidths selects the SIMD-width axis in lanes (0 = native).
